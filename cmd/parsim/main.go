@@ -1,0 +1,122 @@
+// parsim runs the reproduction experiments: every figure and table of the
+// paper's evaluation, plus ablations.
+//
+// Usage:
+//
+//	parsim list
+//	parsim run <name>... [-full] [-nodes N] [-calls N] [-seeds N] [-seed N] [-csv] [-v]
+//	parsim all [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"coschedsim/internal/experiment"
+)
+
+func main() {
+	// Simulation runs allocate short-lived events and closures at a high
+	// rate with a small live set; a lazy GC buys ~15-20% wall time.
+	debug.SetGCPercent(800)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, r := range experiment.Registry() {
+			fmt.Printf("%-12s %s\n", r.Name, r.Describe)
+		}
+	case "run", "all":
+		fs := flag.NewFlagSet(os.Args[1], flag.ExitOnError)
+		full := fs.Bool("full", false, "paper-size runs (59+ nodes; minutes of wall time)")
+		nodes := fs.Int("nodes", 0, "override the maximum node count")
+		calls := fs.Int("calls", 0, "override timed Allreduce calls per point")
+		seeds := fs.Int("seeds", 0, "override runs per data point")
+		seed := fs.Int64("seed", 1, "base RNG seed")
+		csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+		verbose := fs.Bool("v", false, "print per-run progress")
+		var names []string
+		args := os.Args[2:]
+		// Collect leading non-flag arguments as experiment names.
+		for len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+			names = append(names, args[0])
+			args = args[1:]
+		}
+		if err := fs.Parse(args); err != nil {
+			os.Exit(2)
+		}
+		if os.Args[1] == "all" {
+			names = nil
+			for _, r := range experiment.Registry() {
+				names = append(names, r.Name)
+			}
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(os.Stderr, "parsim run: name an experiment (see 'parsim list')")
+			os.Exit(2)
+		}
+		opts := experiment.Quick()
+		if *full {
+			opts = experiment.Full()
+		}
+		if *nodes > 0 {
+			opts.MaxNodes = *nodes
+		}
+		if *calls > 0 {
+			opts.Calls = *calls
+		}
+		if *seeds > 0 {
+			opts.Seeds = *seeds
+		}
+		opts.BaseSeed = *seed
+		if *verbose {
+			opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+		}
+		for _, name := range names {
+			r, ok := experiment.Lookup(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "parsim: unknown experiment %q (see 'parsim list')\n", name)
+				os.Exit(2)
+			}
+			start := time.Now()
+			table, err := r.Run(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parsim: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			if *csv {
+				table.CSV(os.Stdout)
+			} else {
+				table.Render(os.Stdout)
+				fmt.Printf("(%s in %.1fs wall)\n\n", name, time.Since(start).Seconds())
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `parsim — reproduction harness for "Improving the Scalability of Parallel
+Jobs by adding Parallel Awareness to the Operating System" (SC'03)
+
+usage:
+  parsim list                      list experiments
+  parsim run <name>... [flags]     run selected experiments
+  parsim all [flags]               run everything
+
+flags for run/all:
+  -full        paper-size runs (59+ nodes)
+  -nodes N     override max node count
+  -calls N     override Allreduce calls per point
+  -seeds N     override seeds per point
+  -seed N      base RNG seed
+  -csv         CSV output
+  -v           progress on stderr`)
+}

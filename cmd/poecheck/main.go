@@ -1,0 +1,77 @@
+// poecheck validates and describes /etc/poe.priority-style co-scheduler
+// administration files (the paper's §4 interface: one record per priority
+// class, root-only writable, assumed identical on every node). It parses
+// the file, validates every record against the same rules the scheduler
+// enforces — including the refuse-100%-duty starvation guard — and can
+// answer the lookup POE performs at job start.
+//
+// Usage:
+//
+//	poecheck -f /etc/poe.priority              validate and describe
+//	poecheck -f file -class production -uid 501   simulate a job's lookup
+//	echo "batch:-1:30:100:5:90" | poecheck     validate stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"coschedsim"
+)
+
+func main() {
+	file := flag.String("f", "-", "admin file path ('-' for stdin)")
+	class := flag.String("class", "", "simulate MP_PRIORITY lookup for this class")
+	uid := flag.Int("uid", -1, "user id for the lookup")
+	flag.Parse()
+
+	var text []byte
+	var err error
+	if *file == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poecheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	records, err := coschedsim.ParsePriorityFile(string(text))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poecheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "poecheck: no records (every job would run un-co-scheduled)")
+		os.Exit(1)
+	}
+
+	fmt.Printf("%d valid priority class(es):\n", len(records))
+	for _, p := range records {
+		user := "any user"
+		if p.UserID != -1 {
+			user = fmt.Sprintf("uid %d", p.UserID)
+		}
+		unfavoredWindow := float64(p.Period) * (1 - p.Duty)
+		fmt.Printf("  %-12s %s: favored %v / unfavored %v, period %v at %.0f%% duty (system daemons get %v per period)\n",
+			p.Class, user, p.Favored, p.Unfavored, p.Period, p.Duty*100,
+			coschedsim.Time(unfavoredWindow))
+		if p.Favored < 40 {
+			fmt.Printf("  %-12s   warning: favored %v outranks I/O daemons (mmfsd at 40) — I/O-bound jobs will starve their own writes (the paper's ALE3D lesson; consider 41)\n",
+				"", p.Favored)
+		}
+	}
+
+	if *class != "" {
+		p, err := coschedsim.LookupPriorityFile(records, *class, *uid)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "poecheck: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\nlookup MP_PRIORITY=%s uid=%d -> class %s (favored %v, period %v, duty %.0f%%)\n",
+			*class, *uid, p.Class, p.Favored, p.Period, p.Duty*100)
+	}
+}

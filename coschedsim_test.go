@@ -1,0 +1,71 @@
+package coschedsim_test
+
+import (
+	"testing"
+
+	"coschedsim"
+)
+
+// TestPublicAPIQuickstart exercises the facade the README shows: build the
+// two headline configurations, run the benchmark, compare.
+func TestPublicAPIQuickstart(t *testing.T) {
+	run := func(cfg coschedsim.Config) coschedsim.Summary {
+		c := coschedsim.MustBuild(cfg)
+		res, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
+			Loops: 1, CallsPerLoop: 200, Compute: coschedsim.Millisecond,
+		}, coschedsim.Hour)
+		if err != nil || !res.Completed {
+			t.Fatalf("run failed: %v", err)
+		}
+		return coschedsim.Summarize(res.TimesUS)
+	}
+	van := run(coschedsim.Vanilla(2, 16, 7))
+	proto := run(coschedsim.Prototype(2, 16, 7))
+	if van.Mean <= 0 || proto.Mean <= 0 {
+		t.Fatal("degenerate means")
+	}
+	t.Logf("32 procs: vanilla %.0fus, prototype %.0fus", van.Mean, proto.Mean)
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if len(coschedsim.Experiments()) != 19 {
+		t.Fatalf("Experiments() = %d entries, want 19", len(coschedsim.Experiments()))
+	}
+	r, ok := coschedsim.LookupExperiment("fig3")
+	if !ok {
+		t.Fatal("fig3 missing")
+	}
+	opts := coschedsim.ExperimentOptions{MaxNodes: 1, Calls: 32, Seeds: 1, BaseSeed: 1}
+	tab, err := r.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestPublicAPIPriorityFile(t *testing.T) {
+	recs, err := coschedsim.ParsePriorityFile("batch:-1:30:100:5:90\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := coschedsim.LookupPriorityFile(recs, "batch", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Favored != 30 {
+		t.Fatalf("favored = %v", p.Favored)
+	}
+}
+
+func TestPublicAPIALE3D(t *testing.T) {
+	c := coschedsim.MustBuild(coschedsim.ALE3DTuned(1, 16, 3))
+	spec := coschedsim.DefaultALE3DSpec()
+	spec.Timesteps = 5
+	spec.RestartWriteBytes = 1 << 20
+	res, err := coschedsim.RunALE3D(c, spec, coschedsim.Hour)
+	if err != nil || !res.Completed {
+		t.Fatalf("ALE3D failed: %v %+v", err, res)
+	}
+}

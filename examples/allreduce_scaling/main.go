@@ -1,0 +1,70 @@
+// allreduce_scaling sweeps processor counts under both kernels and fits
+// lines — a miniature of the paper's Figures 3, 5 and 6. Flags select the
+// sweep size.
+//
+// Usage: go run ./examples/allreduce_scaling [-maxnodes 12] [-calls 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"coschedsim"
+)
+
+func main() {
+	maxNodes := flag.Int("maxnodes", 8, "largest cluster in the sweep (16-way nodes)")
+	calls := flag.Int("calls", 384, "timed Allreduce calls per point")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	sweep := []int{1, 2, 4, 8, 16, 24, 32, 48, 59}
+	type point struct {
+		procs     int
+		van, prot float64
+	}
+	var pts []point
+
+	measure := func(cfg coschedsim.Config) (int, float64) {
+		c := coschedsim.MustBuild(cfg)
+		res, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
+			Loops: 1, CallsPerLoop: *calls, Compute: coschedsim.Millisecond,
+		}, coschedsim.Hour)
+		if err != nil || !res.Completed {
+			log.Fatalf("run failed: %v", err)
+		}
+		return c.Procs(), coschedsim.Summarize(res.TimesUS).Mean
+	}
+
+	fmt.Printf("%6s  %12s  %12s  %7s\n", "procs", "vanilla(us)", "prototype(us)", "ratio")
+	for _, nodes := range sweep {
+		if nodes > *maxNodes {
+			break
+		}
+		procs, van := measure(coschedsim.Vanilla(nodes, 16, *seed))
+		_, prot := measure(coschedsim.Prototype(nodes, 16, *seed))
+		pts = append(pts, point{procs, van, prot})
+		fmt.Printf("%6d  %12.1f  %12.1f  %6.2fx\n", procs, van, prot, van/prot)
+	}
+
+	xs := make([]float64, len(pts))
+	vys := make([]float64, len(pts))
+	pys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.procs)
+		vys[i] = p.van
+		pys[i] = p.prot
+	}
+	vfit, err1 := coschedsim.LinearFit(xs, vys)
+	pfit, err2 := coschedsim.LinearFit(xs, pys)
+	if err1 != nil || err2 != nil {
+		log.Fatalf("fit failed: %v %v", err1, err2)
+	}
+	fmt.Printf("\nfitted lines (cf. the paper's Figure 6):\n")
+	fmt.Printf("  vanilla:   y = %.3f*x + %.0f us   (paper: 0.70x + 166)\n", vfit.Slope, vfit.Intercept)
+	fmt.Printf("  prototype: y = %.3f*x + %.0f us   (paper: 0.22x + 210)\n", pfit.Slope, pfit.Intercept)
+	if pfit.Slope > 0 {
+		fmt.Printf("  slope ratio = %.2fx (paper: ~3.2x)\n", vfit.Slope/pfit.Slope)
+	}
+}

@@ -1,0 +1,3 @@
+module coschedsim
+
+go 1.22

@@ -1,0 +1,300 @@
+// Package cluster assembles the substrates into runnable systems: nodes with
+// a kernel configuration, the switch fabric, per-node clocks (synchronized
+// switch clock or skewed local clocks), OS noise, the optional co-scheduler,
+// the optional GPFS client, and an MPI job placed one task per processor.
+//
+// The preset constructors correspond to the paper's measured configurations:
+//
+//	Vanilla(nodes, 16)    — standard AIX kernel, 16 tasks/node, no co-scheduler
+//	Vanilla(nodes, 15)    — the common workaround: one CPU left for daemons
+//	Prototype(nodes, 16)  — big-tick/IPI kernel + co-scheduler + quiet MPI
+//	                        timer threads (MP_POLLING_INTERVAL=400s)
+package cluster
+
+import (
+	"fmt"
+
+	"coschedsim/internal/cosched"
+	"coschedsim/internal/gpfs"
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/mpi"
+	"coschedsim/internal/network"
+	"coschedsim/internal/noise"
+	"coschedsim/internal/sim"
+)
+
+// Config fully describes a cluster scenario.
+type Config struct {
+	Nodes        int
+	CPUsPerNode  int
+	TasksPerNode int // ranks bound to CPUs 0..TasksPerNode-1 of every node
+
+	Kernel  kernel.Options // per-node policy (Phase is overridden per node)
+	Noise   noise.Config
+	Network network.Config
+	MPI     mpi.Config
+
+	// Cosched enables the co-scheduler with these parameters; nil runs
+	// without one.
+	Cosched *cosched.Params
+
+	// SyncClocks selects the switch's global clock; when false each node
+	// gets a local clock with a deterministic pseudo-random offset in
+	// [0, ClockSkew], which also shifts its tick grid.
+	SyncClocks bool
+	ClockSkew  sim.Time
+
+	// GPFS attaches an I/O service to every node; nil disables it. When
+	// enabled, the periodic "mmfsd" entry in Noise is replaced by the live
+	// service daemon.
+	GPFS *gpfs.Config
+
+	Seed int64
+}
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes must be positive")
+	case c.CPUsPerNode <= 0:
+		return fmt.Errorf("cluster: CPUsPerNode must be positive")
+	case c.TasksPerNode <= 0 || c.TasksPerNode > c.CPUsPerNode:
+		return fmt.Errorf("cluster: TasksPerNode %d must be in 1..%d", c.TasksPerNode, c.CPUsPerNode)
+	case !c.SyncClocks && c.ClockSkew < 0:
+		return fmt.Errorf("cluster: negative clock skew")
+	}
+	if c.Kernel.NumCPUs != c.CPUsPerNode {
+		return fmt.Errorf("cluster: Kernel.NumCPUs %d != CPUsPerNode %d", c.Kernel.NumCPUs, c.CPUsPerNode)
+	}
+	if err := c.Kernel.Validate(); err != nil {
+		return err
+	}
+	if err := c.Network.Validate(); err != nil {
+		return err
+	}
+	if err := c.MPI.Validate(); err != nil {
+		return err
+	}
+	if c.Cosched != nil {
+		if err := c.Cosched.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.GPFS != nil {
+		if err := c.GPFS.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cluster is a built, ready-to-launch system.
+type Cluster struct {
+	Config Config
+	Eng    *sim.Engine
+	Nodes  []*kernel.Node
+	Clocks []network.Clock
+	Fabric *network.Fabric
+	Noise  []*noise.Set
+	Sched  *cosched.Scheduler
+	IO     []*gpfs.Service
+	Job    *mpi.Job
+}
+
+// Build constructs the cluster. The job is created with one rank per task
+// slot but not launched; call Launch (or Job.Launch) with the program.
+func Build(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Config: cfg, Eng: sim.NewEngine(cfg.Seed)}
+	var err error
+	c.Fabric, err = network.NewFabric(c.Eng, cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cosched != nil {
+		c.Sched, err = cosched.New(*cfg.Cosched)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	skewRNG := c.Eng.Rand("clock-skew")
+	noiseCfg := cfg.Noise
+	if cfg.GPFS != nil {
+		noiseCfg.Daemons = dropDaemon(noiseCfg.Daemons, "mmfsd")
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		opts := cfg.Kernel
+		var clock network.Clock
+		if cfg.SyncClocks {
+			opts.Phase = 0
+			clock = network.NewSwitchClock(c.Eng)
+		} else {
+			skew := cfg.ClockSkew
+			if skew <= 0 {
+				skew = 500 * sim.Millisecond
+			}
+			off := skewRNG.Duration(skew + 1)
+			opts.Phase = off % opts.EffectiveTick()
+			clock = network.NewLocalClock(c.Eng, off)
+		}
+		n, err := kernel.NewNode(c.Eng, i, opts)
+		if err != nil {
+			return nil, err
+		}
+		n.Start()
+		c.Nodes = append(c.Nodes, n)
+		c.Clocks = append(c.Clocks, clock)
+
+		ns, err := noise.Attach(n, noiseCfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Noise = append(c.Noise, ns)
+
+		if cfg.GPFS != nil {
+			svc, err := gpfs.NewService(n, *cfg.GPFS)
+			if err != nil {
+				return nil, err
+			}
+			c.IO = append(c.IO, svc)
+		}
+		if c.Sched != nil {
+			c.Sched.AddNode(n, clock)
+		}
+	}
+
+	var registry mpi.Registry
+	if c.Sched != nil {
+		registry = c.Sched
+	}
+	c.Job, err = mpi.NewJob(c.Eng, c.Fabric, cfg.MPI, registry)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range c.Nodes {
+		for cpu := 0; cpu < cfg.TasksPerNode; cpu++ {
+			c.Job.AddRank(n, cpu)
+		}
+	}
+	return c, nil
+}
+
+// MustBuild is Build for known-valid configurations.
+func MustBuild(cfg Config) *Cluster {
+	c, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func dropDaemon(specs []noise.DaemonSpec, name string) []noise.DaemonSpec {
+	out := make([]noise.DaemonSpec, 0, len(specs))
+	for _, d := range specs {
+		if d.Name != name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Procs returns the total rank count.
+func (c *Cluster) Procs() int { return c.Job.Size() }
+
+// Launch starts the job and runs the simulation until it completes or the
+// horizon passes; it returns the job's completion time and whether it
+// finished. Noise continues during the run and is stopped afterwards.
+func (c *Cluster) Launch(program func(*mpi.Rank), horizon sim.Time) (sim.Time, bool) {
+	var completed sim.Time
+	c.Job.OnComplete(func() {
+		completed = c.Eng.Now()
+		c.Eng.Stop()
+	})
+	c.Job.Launch(program)
+	c.Eng.Run(horizon)
+	for _, ns := range c.Noise {
+		ns.Stop()
+	}
+	return completed, c.Job.Completed()
+}
+
+// Preset constructors ------------------------------------------------------
+
+// BaseConfig is the shared skeleton: 16-way nodes, standard noise, default
+// fabric and MPI cost model.
+func BaseConfig(nodes, tasksPerNode int, seed int64) Config {
+	return Config{
+		Nodes:        nodes,
+		CPUsPerNode:  16,
+		TasksPerNode: tasksPerNode,
+		Kernel:       kernel.VanillaOptions(16),
+		Noise:        noise.StandardConfig(),
+		Network:      network.DefaultConfig(),
+		MPI:          mpi.DefaultConfig(),
+		SyncClocks:   false,
+		ClockSkew:    500 * sim.Millisecond,
+		Seed:         seed,
+	}
+}
+
+// Vanilla is the standard AIX 4.3.3 configuration the paper measures first:
+// lazy preemption, staggered 10ms ticks, bound daemons, 400ms MPI timer
+// threads, no co-scheduler.
+func Vanilla(nodes, tasksPerNode int, seed int64) Config {
+	return BaseConfig(nodes, tasksPerNode, seed)
+}
+
+// Prototype is the paper's full solution: prototype kernel (big tick 250ms,
+// aligned ticks, IPI preemption with both improvements, global daemon
+// queue), co-scheduler at favored 30/unfavored 100 with a 5s/90% window,
+// switch-clock synchronization, and MPI timer threads effectively disabled
+// via MP_POLLING_INTERVAL.
+func Prototype(nodes, tasksPerNode int, seed int64) Config {
+	cfg := BaseConfig(nodes, tasksPerNode, seed)
+	cfg.Kernel = kernel.PrototypeOptions(16)
+	cfg.SyncClocks = true
+	params := cosched.DefaultParams()
+	cfg.Cosched = &params
+	cfg.MPI.ProgressInterval = 400 * sim.Second // the paper's workaround
+	return cfg
+}
+
+// PrototypeKernelOnly applies the kernel modifications without the
+// co-scheduler (for ablations separating the two contributions).
+func PrototypeKernelOnly(nodes, tasksPerNode int, seed int64) Config {
+	cfg := Prototype(nodes, tasksPerNode, seed)
+	cfg.Cosched = nil
+	return cfg
+}
+
+// ALE3DVanilla is the production-code scenario on the standard kernel:
+// GPFS attached, no co-scheduler.
+func ALE3DVanilla(nodes, tasksPerNode int, seed int64) Config {
+	cfg := Vanilla(nodes, tasksPerNode, seed)
+	g := gpfs.DefaultConfig()
+	cfg.GPFS = &g
+	return cfg
+}
+
+// ALE3DNaive is the first, disappointing co-scheduled attempt: favored 30
+// starves the I/O daemons.
+func ALE3DNaive(nodes, tasksPerNode int, seed int64) Config {
+	cfg := Prototype(nodes, tasksPerNode, seed)
+	g := gpfs.DefaultConfig()
+	cfg.GPFS = &g
+	return cfg
+}
+
+// ALE3DTuned sets the favored priority just above mmfsd (41 vs 40), the
+// configuration that won for real applications.
+func ALE3DTuned(nodes, tasksPerNode int, seed int64) Config {
+	cfg := ALE3DNaive(nodes, tasksPerNode, seed)
+	params := cosched.IOAwareParams()
+	cfg.Cosched = &params
+	return cfg
+}

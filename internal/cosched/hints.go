@@ -1,0 +1,94 @@
+package cosched
+
+import (
+	"fmt"
+
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/sim"
+)
+
+// Fine-grain region hints implement the paper's §7 future-work proposal:
+// "Providing a mechanism for parallel applications to establish when they
+// are entering and exiting fine-grain regions may be beneficial on systems
+// supporting the described scheduling capabilities."
+//
+// A task entering a fine-grain region (a tightly synchronized collective
+// phase) tells its node's co-scheduler; while any attached process on the
+// node is inside such a region, the co-scheduler defers the end of the
+// favored window in small quanta, up to a per-period extension budget, so
+// the job is not deprioritized in the middle of a barrier or reduction.
+// The budget preserves a guaranteed unfavored remainder — the starvation
+// lesson of §5 applied to the new mechanism.
+
+// hintQuantum is the granularity at which an extended favored window
+// re-checks whether the fine-grain region has ended.
+const hintQuantum = 50 * sim.Millisecond
+
+// EnterFineGrain marks one process on the node as inside a fine-grain
+// region. Calls nest per process-agnostic counting: every Enter must be
+// matched by an Exit.
+func (s *Scheduler) EnterFineGrain(node *kernel.Node, proc int) {
+	if ns := s.nodes[node]; ns != nil {
+		ns.fineGrain++
+	}
+}
+
+// ExitFineGrain ends a fine-grain region.
+func (s *Scheduler) ExitFineGrain(node *kernel.Node, proc int) {
+	if ns := s.nodes[node]; ns != nil && ns.fineGrain > 0 {
+		ns.fineGrain--
+	}
+}
+
+// FineGrainDepth reports the node's current region nesting (tests,
+// diagnostics).
+func (s *Scheduler) FineGrainDepth(node *kernel.Node) int {
+	if ns := s.nodes[node]; ns != nil {
+		return ns.fineGrain
+	}
+	return 0
+}
+
+// Extensions reports how much favored-window extension the hints have
+// produced on a node so far.
+func (s *Scheduler) Extensions(node *kernel.Node) sim.Time {
+	if ns := s.nodes[node]; ns != nil {
+		return ns.extended
+	}
+	return 0
+}
+
+// validateHints extends Params validation for the hint feature.
+func validateHints(p Params) error {
+	if p.MaxFineGrainExtension < 0 {
+		return fmt.Errorf("cosched: class %s: negative fine-grain extension", p.Class)
+	}
+	if p.MaxFineGrainExtension >= p.Period {
+		return fmt.Errorf("cosched: class %s: fine-grain extension %v must leave an unfavored remainder within the %v period",
+			p.Class, p.MaxFineGrainExtension, p.Period)
+	}
+	return nil
+}
+
+// endFavoredOrExtend runs when the nominal favored window expires: with an
+// active fine-grain region and remaining budget the window is extended one
+// quantum at a time; otherwise it flips to unfavored for the rest of the
+// period.
+func (ns *nodeSched) endFavoredOrExtend(periodStart sim.Time, used sim.Time) {
+	p := ns.sched.params
+	if ns.fineGrain > 0 && used < p.MaxFineGrainExtension {
+		quantum := hintQuantum
+		if rem := p.MaxFineGrainExtension - used; rem < quantum {
+			quantum = rem
+		}
+		ns.extended += quantum
+		ns.thread.Sleep(quantum, func() {
+			ns.endFavoredOrExtend(periodStart, used+quantum)
+		})
+		return
+	}
+	ns.thread.Run(p.AdjustCost, func() {
+		ns.setFavored(false)
+		ns.sleepUntilClock(periodStart+p.Period, ns.beginPeriod)
+	})
+}

@@ -1,0 +1,179 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Figures 1, 3-6, the quantitative claims of §2/§5 as tables
+// T1-T5) plus the ablations DESIGN.md calls out. Each experiment is a named,
+// parameterized run producing a Table whose rows hold raw numbers, so tests
+// can assert shapes and the CLI can render text or CSV.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Unit string // "", "us", "s", "%", "x", ...
+}
+
+// Table is an experiment result: labeled rows of raw numbers plus free-form
+// notes (fits, attributions, paper-vs-measured commentary).
+type Table struct {
+	ID      string
+	Title   string
+	Cols    []Column
+	RowTags []string // optional row labels (scenario names); may be nil
+	Rows    [][]float64
+	Notes   []string
+}
+
+// AddRow appends a labeled row. The number of values must match Cols.
+func (t *Table) AddRow(tag string, values ...float64) {
+	if len(values) != len(t.Cols) {
+		panic(fmt.Sprintf("experiment: row with %d values in %d-column table %s",
+			len(values), len(t.Cols), t.ID))
+	}
+	t.RowTags = append(t.RowTags, tag)
+	t.Rows = append(t.Rows, values)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Col returns the values of one column by name.
+func (t *Table) Col(name string) []float64 {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			out := make([]float64, len(t.Rows))
+			for r, row := range t.Rows {
+				out[r] = row[i]
+			}
+			return out
+		}
+	}
+	panic("experiment: no column " + name + " in table " + t.ID)
+}
+
+// Row returns the values of the first row with the given tag, or nil.
+func (t *Table) Row(tag string) []float64 {
+	for i, rt := range t.RowTags {
+		if rt == tag {
+			return t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Cell returns the value at (rowTag, colName); it panics if absent.
+func (t *Table) Cell(tag, col string) float64 {
+	row := t.Row(tag)
+	if row == nil {
+		panic("experiment: no row " + tag + " in table " + t.ID)
+	}
+	for i, c := range t.Cols {
+		if c.Name == col {
+			return row[i]
+		}
+	}
+	panic("experiment: no column " + col + " in table " + t.ID)
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	headers := make([]string, 0, len(t.Cols)+1)
+	hasTags := false
+	for _, tag := range t.RowTags {
+		if tag != "" {
+			hasTags = true
+		}
+	}
+	if hasTags {
+		headers = append(headers, "scenario")
+	}
+	for _, c := range t.Cols {
+		h := c.Name
+		if c.Unit != "" {
+			h += " (" + c.Unit + ")"
+		}
+		headers = append(headers, h)
+	}
+	rows := make([][]string, 0, len(t.Rows)+1)
+	rows = append(rows, headers)
+	for i, r := range t.Rows {
+		cells := make([]string, 0, len(r)+1)
+		if hasTags {
+			cells = append(cells, t.RowTags[i])
+		}
+		for _, v := range r {
+			cells = append(cells, formatCell(v))
+		}
+		rows = append(rows, cells)
+	}
+	widths := make([]int, len(headers))
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+		if ri == 0 {
+			total := len(headers) - 1
+			for _, width := range widths {
+				total += width + 1
+			}
+			fmt.Fprintln(w, strings.Repeat("-", total))
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// CSV writes a comma-separated rendering.
+func (t *Table) CSV(w io.Writer) {
+	cols := make([]string, 0, len(t.Cols)+1)
+	cols = append(cols, "scenario")
+	for _, c := range t.Cols {
+		cols = append(cols, c.Name)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for i, r := range t.Rows {
+		cells := make([]string, 0, len(r)+1)
+		tag := ""
+		if i < len(t.RowTags) {
+			tag = t.RowTags[i]
+		}
+		cells = append(cells, tag)
+		for _, v := range r {
+			cells = append(cells, fmt.Sprintf("%g", v))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}

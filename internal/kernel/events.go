@@ -1,0 +1,51 @@
+package kernel
+
+import "coschedsim/internal/sim"
+
+// EventKind labels a scheduler trace event, the simulator's analogue of AIX
+// trace hooks.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EvReady    EventKind = iota // thread became runnable
+	EvDispatch                  // thread placed on a CPU
+	EvPreempt                   // thread forced off a CPU
+	EvBlock                     // thread blocked on an external wakeup
+	EvSleep                     // thread started a timer sleep (arg: wake time)
+	EvExit                      // thread exited (arg: 1 if killed)
+	EvTick                      // timer tick interrupt (arg: CPU index)
+	EvIPI                       // forced-preemption interrupt delivered (arg: CPU index)
+	EvSetPrio                   // priority change (arg: new priority)
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvReady:
+		return "ready"
+	case EvDispatch:
+		return "dispatch"
+	case EvPreempt:
+		return "preempt"
+	case EvBlock:
+		return "block"
+	case EvSleep:
+		return "sleep"
+	case EvExit:
+		return "exit"
+	case EvTick:
+		return "tick"
+	case EvIPI:
+		return "ipi"
+	case EvSetPrio:
+		return "setprio"
+	}
+	return "?"
+}
+
+// EventSink receives scheduler trace events. Implementations must not mutate
+// scheduler state. A nil sink disables tracing with no overhead beyond a nil
+// check.
+type EventSink interface {
+	KernelEvent(now sim.Time, node int, cpu int, kind EventKind, th *Thread, arg int64)
+}

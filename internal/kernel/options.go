@@ -1,0 +1,178 @@
+package kernel
+
+import "coschedsim/internal/sim"
+
+// Options selects the scheduling policies of a node. The zero value is not
+// meaningful; start from VanillaOptions or PrototypeOptions and adjust.
+//
+// Each field corresponds to a mechanism described in the paper:
+//
+//   - TickInterval / BigTick: §3.1.1 "Generate fewer routine timer
+//     interrupts". Effective interval = TickInterval * BigTick.
+//   - AlignTicks: §3.2.1 "Take timer tick interrupts simultaneously on each
+//     CPU" (AIX default staggers them across CPUs).
+//   - RealTimeIPI: AIX's existing "real time scheduling" option — force a
+//     hardware interrupt so a better-priority wakeup preempts in ~tenths of
+//     a millisecond instead of up to a full tick.
+//   - ReversePreemptIPI: the paper's first improvement — also force an
+//     interrupt when a *running* thread's priority is lowered below a
+//     waiting thread's.
+//   - MultiIPI: the paper's second improvement — allow preemption interrupts
+//     to multiple processors concurrently instead of one in flight at a time.
+//   - QueueDaemonsGlobal: §3.1.2 "Execute overhead tasks with maximum
+//     parallelism" — daemons go to the node-global queue (any CPU, with a
+//     locality penalty) instead of a home CPU.
+type Options struct {
+	NumCPUs int
+
+	// TickInterval is the base periodic timer interrupt interval (AIX: 10ms,
+	// i.e. 100 ticks/second on every CPU).
+	TickInterval sim.Time
+
+	// BigTick multiplies TickInterval; the paper generally chose 25
+	// (250ms effective) for the prototype kernel. Must be >= 1.
+	BigTick int
+
+	// TickCost is CPU time consumed by each tick interrupt on each CPU
+	// (timer-decrement processing).
+	TickCost sim.Time
+
+	// AlignTicks fires ticks at the same instant on every CPU of the node
+	// (and, when the node phase is zero, across nodes). When false, CPU i's
+	// ticks are offset by i*interval/NumCPUs, the AIX "staggered" design.
+	AlignTicks bool
+
+	// RealTimeIPI enables IPI-forced preemption for better-priority wakeups.
+	RealTimeIPI bool
+
+	// ReversePreemptIPI extends RealTimeIPI to reverse preemptions
+	// (running thread's priority lowered below a waiter's). Ignored unless
+	// RealTimeIPI is set.
+	ReversePreemptIPI bool
+
+	// MultiIPI allows more than one preemption interrupt in flight per node.
+	// Ignored unless RealTimeIPI is set.
+	MultiIPI bool
+
+	// IPILatency is the delay between requesting a forced preemption and the
+	// target CPU acting on it (paper: "typically accomplished in tenths of a
+	// millisecond").
+	IPILatency sim.Time
+
+	// QueueDaemonsGlobal forces daemon threads onto the node-global run
+	// queue so they execute with maximum parallelism.
+	QueueDaemonsGlobal bool
+
+	// MigrationPenalty inflates the remaining burst of a thread dispatched
+	// on a CPU other than the one it last ran on (storage locality loss);
+	// the paper's example is two 3ms daemons costing ~3.1ms when spread.
+	// 1.0 disables the penalty.
+	MigrationPenalty float64
+
+	// CtxSwitchCost is charged whenever a CPU switches between two distinct
+	// threads.
+	CtxSwitchCost sim.Time
+
+	// QuantizeTimers rounds Sleep wakeups up to the next tick on the owning
+	// CPU, as a kernel timer wheel does. This is what makes "big ticks"
+	// batch daemon wakeups. Message wakeups (interrupt driven) are never
+	// quantized.
+	QuantizeTimers bool
+
+	// IdleSteal lets an idle CPU run ready threads bound to other CPUs
+	// (AIX's beneficial stealing; essential to the 15-tasks-per-node
+	// configuration where one CPU is left free to absorb daemons).
+	IdleSteal bool
+
+	// Timeslice round-robins equal-priority threads at tick boundaries
+	// (AIX's one-tick quantum). Without it a CPU-bound thread starves
+	// equal-priority peers — e.g. the MPI progress-engine timer threads —
+	// forever.
+	Timeslice bool
+
+	// UsageDecay enables AIX-style fair-share behaviour for threads whose
+	// priority was never set explicitly: effective priority worsens with
+	// recent CPU consumption and recovers once per second (the related-work
+	// category-3 baseline; off by default since the paper's systems ran
+	// the benchmark tasks at effectively static priorities).
+	UsageDecay bool
+
+	// Phase shifts this node's tick grid and all timer quantization,
+	// modelling an unsynchronized node clock. Zero when the cluster uses
+	// the switch's global clock.
+	Phase sim.Time
+}
+
+// VanillaOptions models the standard AIX 4.3.3 kernel as the paper describes
+// it: 10ms staggered ticks, lazy preemption (noticed at the next tick or
+// voluntary kernel entry), daemons bound to home CPUs.
+func VanillaOptions(ncpu int) Options {
+	return Options{
+		NumCPUs:            ncpu,
+		TickInterval:       10 * sim.Millisecond,
+		BigTick:            1,
+		TickCost:           15 * sim.Microsecond,
+		AlignTicks:         false,
+		RealTimeIPI:        false,
+		ReversePreemptIPI:  false,
+		MultiIPI:           false,
+		IPILatency:         200 * sim.Microsecond,
+		QueueDaemonsGlobal: false,
+		MigrationPenalty:   1.05,
+		CtxSwitchCost:      5 * sim.Microsecond,
+		QuantizeTimers:     true,
+		IdleSteal:          true,
+		Timeslice:          true,
+	}
+}
+
+// PrototypeOptions models the paper's prototype kernel: big ticks (25 x 10ms
+// = 250ms), aligned tick interrupts, IPI-forced preemption with both
+// improvements, and daemons queued to all processors.
+func PrototypeOptions(ncpu int) Options {
+	o := VanillaOptions(ncpu)
+	o.BigTick = 25
+	o.AlignTicks = true
+	o.RealTimeIPI = true
+	o.ReversePreemptIPI = true
+	o.MultiIPI = true
+	o.QueueDaemonsGlobal = true
+	return o
+}
+
+// EffectiveTick is the interval between tick interrupts after applying the
+// big-tick multiplier.
+func (o Options) EffectiveTick() sim.Time {
+	bt := o.BigTick
+	if bt < 1 {
+		bt = 1
+	}
+	return o.TickInterval * sim.Time(bt)
+}
+
+// Validate reports a descriptive error for unusable option combinations.
+func (o Options) Validate() error {
+	switch {
+	case o.NumCPUs <= 0:
+		return errOpt("NumCPUs must be positive")
+	case o.TickInterval <= 0:
+		return errOpt("TickInterval must be positive")
+	case o.BigTick < 1:
+		return errOpt("BigTick must be >= 1")
+	case o.TickCost < 0:
+		return errOpt("TickCost must be non-negative")
+	case o.IPILatency < 0:
+		return errOpt("IPILatency must be non-negative")
+	case o.MigrationPenalty < 1.0:
+		return errOpt("MigrationPenalty must be >= 1.0")
+	case o.CtxSwitchCost < 0:
+		return errOpt("CtxSwitchCost must be non-negative")
+	case o.Phase < 0:
+		return errOpt("Phase must be non-negative")
+	}
+	return nil
+}
+
+type errOpt string
+
+func (e errOpt) Error() string { return "kernel: invalid options: " + string(e) }

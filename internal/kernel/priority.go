@@ -1,0 +1,80 @@
+// Package kernel models the operating-system scheduler of one SMP node the
+// way the paper's prototype modifies AIX: per-CPU run queues plus a
+// node-global queue, fixed priorities with lazy or IPI-forced preemption,
+// periodic timer ticks (staggered or aligned, normal or "big"), timer-wheel
+// sleep quantization, and idle-CPU work stealing.
+//
+// Threads are written in continuation-passing style: a thread's behaviour is
+// a chain of Run / Sleep / Block / Exit transitions, each naming the next
+// continuation. The package is deliberately not cycle-accurate — what matters
+// to the paper's experiments is who is dispatched when, with which latencies.
+package kernel
+
+import "fmt"
+
+// Priority is an AIX-style dispatch priority: numerically smaller values are
+// more favored. The scheduler always prefers the smallest runnable priority
+// and preempts only for a strictly better one.
+type Priority int
+
+// Priority landmarks used throughout the reproduction, taken from the
+// paper's §4–§5 discussion of AIX priority values.
+const (
+	// PrioCosched is the co-scheduler daemon itself, "an even more favored
+	// priority" than anything it manages.
+	PrioCosched Priority = 15
+
+	// PrioFavored is the default favored value given to parallel tasks
+	// during their window (paper settles on 30).
+	PrioFavored Priority = 30
+
+	// PrioIODaemon is where GPFS's mmfsd runs; the paper's tuned
+	// configuration sets the favored task priority to just above it.
+	PrioIODaemon Priority = 40
+
+	// PrioFavoredIO is the tuned favored value: less favored than mmfsd so
+	// I/O daemons can always preempt the application (paper: 41 vs 40).
+	PrioFavoredIO Priority = 41
+
+	// PrioSystemDaemon is typical privileged daemon priority; the paper
+	// traces cron components and long-running daemons at 56.
+	PrioSystemDaemon Priority = 56
+
+	// PrioUserNormal is a typical running user task: the paper reports user
+	// processes between 90 and 120.
+	PrioUserNormal Priority = 92
+
+	// PrioUnfavored is the default unfavored value for parallel tasks
+	// outside their window (paper settles on 100).
+	PrioUnfavored Priority = 100
+
+	// PrioIdle never wins against real work.
+	PrioIdle Priority = 127
+)
+
+// Better reports whether p is strictly more favored than q.
+func (p Priority) Better(q Priority) bool { return p < q }
+
+// String renders the priority with its landmark name when it has one.
+func (p Priority) String() string {
+	switch p {
+	case PrioCosched:
+		return "cosched(15)"
+	case PrioFavored:
+		return "favored(30)"
+	case PrioIODaemon:
+		return "iodaemon(40)"
+	case PrioFavoredIO:
+		return "favored-io(41)"
+	case PrioSystemDaemon:
+		return "daemon(56)"
+	case PrioUserNormal:
+		return "user(92)"
+	case PrioUnfavored:
+		return "unfavored(100)"
+	case PrioIdle:
+		return "idle(127)"
+	default:
+		return fmt.Sprintf("%d", int(p))
+	}
+}

@@ -1,0 +1,115 @@
+package kernel
+
+// runQueue is a priority queue of ready threads: best (numerically smallest)
+// priority first, FIFO among equals. It supports removal of arbitrary
+// entries (needed when an idle CPU steals a thread from another queue, and
+// when a queued thread's priority changes).
+type runQueue struct {
+	heap []*Thread
+	seq  uint64
+}
+
+func (q *runQueue) Len() int { return len(q.heap) }
+
+func (q *runQueue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.queueSeq < b.queueSeq
+}
+
+func (q *runQueue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].queueIdx = i
+	q.heap[j].queueIdx = j
+}
+
+func (q *runQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *runQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// Push enqueues t. t must not already be in a queue.
+func (q *runQueue) Push(t *Thread) {
+	if t.queue != nil {
+		panic("kernel: thread " + t.name + " pushed while already queued")
+	}
+	t.queue = q
+	t.queueSeq = q.seq
+	q.seq++
+	t.queueIdx = len(q.heap)
+	q.heap = append(q.heap, t)
+	q.up(t.queueIdx)
+}
+
+// Peek returns the best thread without removing it, or nil if empty.
+func (q *runQueue) Peek() *Thread {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Pop removes and returns the best thread, or nil if empty.
+func (q *runQueue) Pop() *Thread {
+	t := q.Peek()
+	if t != nil {
+		q.Remove(t)
+	}
+	return t
+}
+
+// Remove deletes t from the queue. Panics if t is not in this queue.
+func (q *runQueue) Remove(t *Thread) {
+	if t.queue != q {
+		panic("kernel: removing thread " + t.name + " from wrong queue")
+	}
+	i := t.queueIdx
+	n := len(q.heap) - 1
+	if i != n {
+		q.swap(i, n)
+	}
+	q.heap[n] = nil
+	q.heap = q.heap[:n]
+	t.queue = nil
+	t.queueIdx = -1
+	if i < n {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+// Fix restores heap order after t's priority changed in place.
+func (q *runQueue) Fix(t *Thread) {
+	if t.queue != q {
+		panic("kernel: fixing thread " + t.name + " not in this queue")
+	}
+	q.down(t.queueIdx)
+	q.up(t.queueIdx)
+}

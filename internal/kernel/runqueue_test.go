@@ -1,0 +1,141 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestThread(id int, prio Priority) *Thread {
+	return &Thread{id: id, name: "t", prio: prio, queueIdx: -1}
+}
+
+func TestRunQueueOrdering(t *testing.T) {
+	q := &runQueue{}
+	q.Push(newTestThread(1, 90))
+	q.Push(newTestThread(2, 30))
+	q.Push(newTestThread(3, 56))
+	q.Push(newTestThread(4, 30))
+
+	want := []struct {
+		id   int
+		prio Priority
+	}{{2, 30}, {4, 30}, {3, 56}, {1, 90}}
+	for i, w := range want {
+		got := q.Pop()
+		if got == nil || got.id != w.id || got.prio != w.prio {
+			t.Fatalf("pop %d = %v, want id=%d prio=%d", i, got, w.id, w.prio)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop from empty queue != nil")
+	}
+}
+
+func TestRunQueueFIFOWithinPriority(t *testing.T) {
+	q := &runQueue{}
+	for i := 0; i < 10; i++ {
+		q.Push(newTestThread(i, 50))
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.Pop(); got.id != i {
+			t.Fatalf("FIFO violated: got id %d at position %d", got.id, i)
+		}
+	}
+}
+
+func TestRunQueueRemoveMiddle(t *testing.T) {
+	q := &runQueue{}
+	ths := make([]*Thread, 6)
+	for i := range ths {
+		ths[i] = newTestThread(i, Priority(40+i))
+		q.Push(ths[i])
+	}
+	q.Remove(ths[2])
+	q.Remove(ths[5])
+	var got []int
+	for q.Len() > 0 {
+		got = append(got, q.Pop().id)
+	}
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunQueueFixAfterPriorityChange(t *testing.T) {
+	q := &runQueue{}
+	a := newTestThread(1, 90)
+	b := newTestThread(2, 50)
+	q.Push(a)
+	q.Push(b)
+	a.prio = 10
+	q.Fix(a)
+	if q.Peek() != a {
+		t.Fatal("Fix did not float improved thread to front")
+	}
+}
+
+func TestRunQueuePushTwicePanics(t *testing.T) {
+	q := &runQueue{}
+	a := newTestThread(1, 50)
+	q.Push(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double push did not panic")
+		}
+	}()
+	q.Push(a)
+}
+
+func TestRunQueueRemoveFromWrongQueuePanics(t *testing.T) {
+	q1, q2 := &runQueue{}, &runQueue{}
+	a := newTestThread(1, 50)
+	q1.Push(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-queue remove did not panic")
+		}
+	}()
+	q2.Remove(a)
+}
+
+// Property: any sequence of pushes and removals drains in non-decreasing
+// priority order with FIFO among equals.
+func TestRunQueueHeapProperty(t *testing.T) {
+	f := func(prios []uint8, removeMask []bool) bool {
+		q := &runQueue{}
+		var live []*Thread
+		for i, p := range prios {
+			th := newTestThread(i, Priority(p%128))
+			q.Push(th)
+			live = append(live, th)
+		}
+		for i, th := range live {
+			if i < len(removeMask) && removeMask[i] {
+				q.Remove(th)
+			}
+		}
+		var prev *Thread
+		for q.Len() > 0 {
+			cur := q.Pop()
+			if prev != nil {
+				if cur.prio < prev.prio {
+					return false
+				}
+				if cur.prio == prev.prio && cur.queueSeq < prev.queueSeq {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package mpi
+
+import "math/bits"
+
+// Collectives are implemented with the standard algorithms the paper's MPI
+// used: recursive doubling with a non-power-of-two fold for Allreduce (the
+// "standard tree algorithm ... no more than 2*log2(N) point to point
+// communications"), a dissemination Barrier, and a ring Allgather. They
+// carry real values so tests can check numerical correctness.
+
+// tag space layout per collective instance: 64 tags.
+const (
+	tagsPerCollective = 64
+	tagFold           = 0  // non-power-of-two pre-reduction
+	tagRound0         = 1  // recursive doubling rounds 1+k (k < 62)
+	tagFinal          = 63 // result distribution to folded ranks
+)
+
+func (r *Rank) nextTagBase() int {
+	base := r.collSeq * tagsPerCollective
+	r.collSeq++
+	return base
+}
+
+// floorPow2 returns the largest power of two <= n (n >= 1).
+func floorPow2(n int) int {
+	return 1 << (bits.Len(uint(n)) - 1)
+}
+
+// effRank maps a real rank to its recursive-doubling participant index, or
+// -1 for folded-out ranks (even ranks below 2*rem).
+func effRank(real, rem int) int {
+	if real < 2*rem {
+		if real%2 == 0 {
+			return -1
+		}
+		return real / 2
+	}
+	return real - rem
+}
+
+// realRank inverts effRank.
+func realRank(eff, rem int) int {
+	if eff < rem {
+		return 2*eff + 1
+	}
+	return eff + rem
+}
+
+// Allreduce computes the global sum of value across all ranks and continues
+// with the result. Every rank must call it in the same program order.
+func (r *Rank) Allreduce(value float64, then func(sum float64)) {
+	if r.job.cfg.hwEnabled() {
+		r.hwAllreduce(value, then)
+		return
+	}
+	n := r.Size()
+	base := r.nextTagBase()
+	if n == 1 {
+		r.thread.Run(r.job.cfg.ReduceCost, func() { then(value) })
+		return
+	}
+	p2 := floorPow2(n)
+	rem := n - p2
+	bytes := r.job.cfg.ElemBytes
+	acc := value
+
+	finish := func() {
+		// Phase 3: distribute the result back to folded-out even ranks.
+		if r.id < 2*rem {
+			if r.id%2 == 0 {
+				r.Recv(r.id+1, base+tagFinal, func(v float64) { then(v) })
+				return
+			}
+			r.Send(r.id-1, base+tagFinal, acc, bytes, func() { then(acc) })
+			return
+		}
+		then(acc)
+	}
+
+	var rounds func(k, eff int)
+	rounds = func(k, eff int) {
+		if 1<<k >= p2 {
+			finish()
+			return
+		}
+		peer := realRank(eff^(1<<k), rem)
+		r.SendRecv(peer, base+tagRound0+k, acc, bytes, func(v float64) {
+			r.thread.Run(r.job.cfg.ReduceCost, func() {
+				acc += v
+				rounds(k+1, eff)
+			})
+		})
+	}
+
+	// Phase 1: fold the extra ranks into a power-of-two participant set.
+	if r.id < 2*rem {
+		if r.id%2 == 0 {
+			r.Send(r.id+1, base+tagFold, acc, bytes, finish)
+			return
+		}
+		r.Recv(r.id-1, base+tagFold, func(v float64) {
+			r.thread.Run(r.job.cfg.ReduceCost, func() {
+				acc += v
+				rounds(0, effRank(r.id, rem))
+			})
+		})
+		return
+	}
+	rounds(0, effRank(r.id, rem))
+}
+
+// Barrier blocks until every rank has entered it (dissemination algorithm:
+// ceil(log2(N)) rounds of shifted exchanges).
+func (r *Rank) Barrier(then func()) {
+	n := r.Size()
+	base := r.nextTagBase()
+	if n == 1 {
+		r.thread.Run(0, then)
+		return
+	}
+	var round func(k int)
+	round = func(k int) {
+		dist := 1 << k
+		if dist >= n {
+			then()
+			return
+		}
+		to := (r.id + dist) % n
+		from := (r.id - dist + n) % n
+		r.Send(to, base+tagRound0+k, 0, 0, func() {
+			r.Recv(from, base+tagRound0+k, func(float64) {
+				round(k + 1)
+			})
+		})
+	}
+	round(0)
+}
+
+// Allgather collects every rank's value; continues with a slice indexed by
+// rank. Ring algorithm: N-1 steps, each passing the newest value along.
+func (r *Rank) Allgather(value float64, then func(values []float64)) {
+	n := r.Size()
+	base := r.nextTagBase()
+	values := make([]float64, n)
+	values[r.id] = value
+	if n == 1 {
+		r.thread.Run(0, func() { then(values) })
+		return
+	}
+	right := (r.id + 1) % n
+	left := (r.id - 1 + n) % n
+	bytes := r.job.cfg.ElemBytes
+
+	var step func(k int)
+	step = func(k int) {
+		if k >= n-1 {
+			then(values)
+			return
+		}
+		// In step k we forward the value that originated at id-k and
+		// receive the one that originated at id-k-1 (mod n).
+		sendIdx := (r.id - k + n*n) % n
+		recvIdx := (r.id - k - 1 + n*n) % n
+		r.Send(right, base+tagRound0+k%60, values[sendIdx], bytes, func() {
+			r.Recv(left, base+tagRound0+k%60, func(v float64) {
+				values[recvIdx] = v
+				step(k + 1)
+			})
+		})
+	}
+	step(0)
+}
+
+// RingExchange performs a nearest-neighbor halo exchange: send value to both
+// neighbors, receive theirs, continue with (left, right) values. This is the
+// paper's "ring communication pattern" fine-grain operation.
+func (r *Rank) RingExchange(value float64, bytes int, then func(fromLeft, fromRight float64)) {
+	n := r.Size()
+	base := r.nextTagBase()
+	if n == 1 {
+		r.thread.Run(0, func() { then(value, value) })
+		return
+	}
+	right := (r.id + 1) % n
+	left := (r.id - 1 + n) % n
+	// Tags distinguish direction: +0 flows rightward, +1 flows leftward.
+	r.Send(right, base+tagRound0, value, bytes, func() {
+		r.Send(left, base+tagRound0+1, value, bytes, func() {
+			r.Recv(left, base+tagRound0, func(fromLeft float64) {
+				r.Recv(right, base+tagRound0+1, func(fromRight float64) {
+					then(fromLeft, fromRight)
+				})
+			})
+		})
+	})
+}

@@ -1,0 +1,280 @@
+// Package mpi models the IBM MPI runtime the paper's benchmark exercises:
+// SPMD jobs of one task per processor, point-to-point messaging with
+// tag/source matching over the switch fabric, tree/recursive-doubling
+// collectives (Allreduce, Barrier, Allgather, ring exchange), the
+// progress-engine "MPI timer threads" whose 400ms wakeups disrupt tightly
+// synchronized collectives, and the control-pipe registration/attach/detach
+// protocol the co-scheduler uses to learn task PIDs.
+//
+// Task programs are written in the kernel package's continuation-passing
+// style; every communication primitive takes the continuation to run when it
+// completes. Collectives carry real float64 payloads so tests can verify
+// numerical correctness, not just timing.
+package mpi
+
+import (
+	"fmt"
+
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/network"
+	"coschedsim/internal/sim"
+)
+
+// Config parameterizes the MPI runtime's cost model and progress engine.
+type Config struct {
+	// SendOverhead is CPU time consumed posting a message.
+	SendOverhead sim.Time
+	// RecvOverhead is CPU time consumed completing a matched receive.
+	RecvOverhead sim.Time
+	// ReduceCost is CPU time for combining one pair of operands per
+	// reduction round.
+	ReduceCost sim.Time
+	// ElemBytes is the payload size of one reduction element (MPI_DOUBLE).
+	ElemBytes int
+
+	// ProgressEnabled starts one progress-engine timer thread per task
+	// (IBM MPI's default behaviour).
+	ProgressEnabled bool
+	// ProgressInterval is the timer thread period — the MP_POLLING_INTERVAL
+	// environment variable; IBM's default is 400ms. The paper's fix is to
+	// set it to ~400 seconds.
+	ProgressInterval sim.Time
+	// ProgressBurst is the CPU consumed per timer-thread activation.
+	ProgressBurst sim.Time
+
+	// TaskPriority is the initial dispatch priority of task and progress
+	// threads (user processes; the co-scheduler re-prioritizes them).
+	TaskPriority kernel.Priority
+
+	// WaitMode selects how a task waits for an unmatched receive.
+	WaitMode WaitMode
+
+	// LongVectorBytes is the payload size at which AllreduceVec switches
+	// from recursive doubling to Rabenseifner's reduce-scatter/allgather
+	// algorithm (MPI implementations switch around a few KB).
+	LongVectorBytes int
+
+	// HardwareCollectives offloads Allreduce to the switch's combine engine
+	// (the paper's §7 "hardware assisted collectives"): one send and one
+	// wait per task instead of a 2*log2(N)-message software tree.
+	HardwareCollectives bool
+	// HWCollectiveLatency is the fixed in-fabric combine latency.
+	HWCollectiveLatency sim.Time
+}
+
+// WaitMode is the MP_WAIT_MODE equivalent.
+type WaitMode uint8
+
+const (
+	// WaitPoll busy-waits, burning the CPU until the message arrives —
+	// IBM MPI's default, and the reason MPI tasks hold their processors
+	// even while "waiting".
+	WaitPoll WaitMode = iota
+	// WaitBlock sleeps the task, freeing the CPU (interrupt mode).
+	WaitBlock
+)
+
+// DefaultConfig is calibrated per DESIGN.md §4.
+func DefaultConfig() Config {
+	return Config{
+		SendOverhead:     3 * sim.Microsecond,
+		RecvOverhead:     3 * sim.Microsecond,
+		ReduceCost:       1 * sim.Microsecond,
+		ElemBytes:        8,
+		ProgressEnabled:  true,
+		ProgressInterval: 400 * sim.Millisecond,
+		ProgressBurst:    350 * sim.Microsecond,
+		TaskPriority:     kernel.PrioUserNormal,
+		WaitMode:         WaitPoll,
+		LongVectorBytes:  4096,
+	}
+}
+
+// Validate reports an error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.SendOverhead < 0 || c.RecvOverhead < 0 || c.ReduceCost < 0:
+		return fmt.Errorf("mpi: negative overheads in %+v", c)
+	case c.ElemBytes < 0:
+		return fmt.Errorf("mpi: negative element size")
+	case c.ProgressEnabled && c.ProgressInterval <= 0:
+		return fmt.Errorf("mpi: progress enabled with non-positive interval")
+	case c.ProgressEnabled && c.ProgressBurst < 0:
+		return fmt.Errorf("mpi: negative progress burst")
+	case c.HardwareCollectives && c.HWCollectiveLatency <= 0:
+		return fmt.Errorf("mpi: hardware collectives need a positive combine latency")
+	case c.LongVectorBytes < 0:
+		return fmt.Errorf("mpi: negative long-vector threshold")
+	}
+	return nil
+}
+
+// Registry is the co-scheduler's side of the control pipe: the MPI library
+// reports each task's process as it initializes, and forwards attach/detach
+// requests. A nil Registry runs the job without co-scheduling.
+type Registry interface {
+	// RegisterProcess announces a task process (task thread + auxiliary
+	// threads) on a node.
+	RegisterProcess(node *kernel.Node, proc int, threads []*kernel.Thread)
+	// DetachProcess asks that the process revert to normal priority
+	// (the escape mechanism for I/O phases).
+	DetachProcess(node *kernel.Node, proc int)
+	// AttachProcess re-enrolls the process in co-scheduling.
+	AttachProcess(node *kernel.Node, proc int)
+	// UnregisterProcess announces process termination.
+	UnregisterProcess(node *kernel.Node, proc int)
+}
+
+// FineGrainRegistry is an optional Registry extension implementing the
+// paper's §7 proposal: applications announce when they enter and exit
+// fine-grain (tightly synchronized) regions so the co-scheduler can avoid
+// deprioritizing them mid-collective. Registries that do not implement it
+// silently ignore the hints.
+type FineGrainRegistry interface {
+	EnterFineGrain(node *kernel.Node, proc int)
+	ExitFineGrain(node *kernel.Node, proc int)
+}
+
+// Job is one parallel job: a set of ranks placed on nodes.
+type Job struct {
+	eng      *sim.Engine
+	fabric   *network.Fabric
+	cfg      Config
+	ranks    []*Rank
+	registry Registry
+
+	launched   bool
+	finished   int
+	onComplete []func()
+
+	// Stats
+	p2pSends uint64
+
+	// hw tracks in-flight hardware collectives by tag.
+	hw map[int]*hwOp
+}
+
+// NewJob creates an empty job. Add ranks with AddRank, then Launch.
+func NewJob(eng *sim.Engine, fabric *network.Fabric, cfg Config, registry Registry) (*Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Job{eng: eng, fabric: fabric, cfg: cfg, registry: registry}, nil
+}
+
+// MustJob is NewJob for known-valid configurations.
+func MustJob(eng *sim.Engine, fabric *network.Fabric, cfg Config, registry Registry) *Job {
+	j, err := NewJob(eng, fabric, cfg, registry)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// AddRank places the next rank on a node, bound to cpu. Returns the rank.
+func (j *Job) AddRank(node *kernel.Node, cpu int) *Rank {
+	if j.launched {
+		panic("mpi: AddRank after Launch")
+	}
+	id := len(j.ranks)
+	r := &Rank{
+		job:   j,
+		id:    id,
+		node:  node,
+		inbox: map[msgKey][]message{},
+	}
+	proc := 1000 + id // distinct nonzero Proc per task process
+	r.thread = node.NewThread(fmt.Sprintf("rank%d", id), j.cfg.TaskPriority, cpu)
+	r.thread.Proc = proc
+	if j.cfg.ProgressEnabled {
+		r.progress = node.NewThread(fmt.Sprintf("mpitimer%d", id), j.cfg.TaskPriority, cpu)
+		r.progress.Proc = proc
+	}
+	j.ranks = append(j.ranks, r)
+	return r
+}
+
+// Size returns the number of ranks.
+func (j *Job) Size() int { return len(j.ranks) }
+
+// Ranks returns the job's ranks in rank order.
+func (j *Job) Ranks() []*Rank { return j.ranks }
+
+// Config returns the job's MPI configuration.
+func (j *Job) Config() Config { return j.cfg }
+
+// P2PSends reports the total point-to-point messages sent (algorithm
+// verification: a recursive-doubling Allreduce sends ~2*log2(N) per task).
+func (j *Job) P2PSends() uint64 { return j.p2pSends }
+
+// OnComplete registers a callback invoked when every rank has called Done.
+// Callbacks stack and run in registration order.
+func (j *Job) OnComplete(fn func()) { j.onComplete = append(j.onComplete, fn) }
+
+// Launch starts every rank executing program (MPI_Init through MPI_Finalize:
+// registration with the co-scheduler happens before the program body runs).
+// program must eventually call r.Done().
+func (j *Job) Launch(program func(r *Rank)) {
+	if j.launched {
+		panic("mpi: Launch twice")
+	}
+	if len(j.ranks) == 0 {
+		panic("mpi: Launch with no ranks")
+	}
+	j.launched = true
+	for _, r := range j.ranks {
+		r := r
+		// MPI_Init: the library writes the task PID up the control pipe to
+		// the pmd, which forwards it to the co-scheduler.
+		if j.registry != nil {
+			threads := []*kernel.Thread{r.thread}
+			if r.progress != nil {
+				threads = append(threads, r.progress)
+			}
+			j.registry.RegisterProcess(r.node, r.thread.Proc, threads)
+		}
+		if r.progress != nil {
+			j.startProgressThread(r)
+		}
+		r.thread.Start(func() { program(r) })
+	}
+}
+
+// startProgressThread runs the rank's MPI timer thread: sleep the polling
+// interval, then burn the progress burst at task priority, forever (it dies
+// with the job).
+func (j *Job) startProgressThread(r *Rank) {
+	th := r.progress
+	var cycle func()
+	cycle = func() {
+		if r.done {
+			th.Exit()
+			return
+		}
+		th.Run(j.cfg.ProgressBurst, func() {
+			th.Sleep(j.cfg.ProgressInterval, cycle)
+		})
+	}
+	th.Start(func() { th.Sleep(j.cfg.ProgressInterval, cycle) })
+}
+
+// rankDone accounts a completed rank and fires the completion callback.
+func (j *Job) rankDone(r *Rank) {
+	if j.registry != nil {
+		j.registry.UnregisterProcess(r.node, r.thread.Proc)
+	}
+	if r.progress != nil && r.progress.State() == kernel.StateSleeping {
+		// Reap the sleeping timer thread immediately instead of waiting up
+		// to a polling interval for it to notice.
+		r.progress.Kill()
+	}
+	j.finished++
+	if j.finished == len(j.ranks) {
+		for _, fn := range j.onComplete {
+			fn()
+		}
+	}
+}
+
+// Completed reports whether every rank has called Done.
+func (j *Job) Completed() bool { return j.launched && j.finished == len(j.ranks) }

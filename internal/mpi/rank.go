@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"fmt"
+
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/sim"
+)
+
+// msgKey identifies a match point: messages match on (source, tag), as in
+// MPI with a fixed communicator.
+type msgKey struct {
+	src int
+	tag int
+}
+
+// message is an in-flight or queued payload.
+type message struct {
+	value float64
+	bytes int
+}
+
+// Rank is one MPI task: a kernel thread bound to a CPU plus the library
+// state (inbox, pending receive, collective sequence counter).
+type Rank struct {
+	job  *Job
+	id   int
+	node *kernel.Node
+
+	thread   *kernel.Thread
+	progress *kernel.Thread
+
+	inbox    map[msgKey][]message
+	vecInbox map[msgKey][][]float64 // side table for vector payloads
+	waiting  *pendingRecv
+
+	collSeq int
+	done    bool
+}
+
+type pendingRecv struct {
+	key  msgKey
+	cont func(message)
+}
+
+// ID returns the rank number (0-based).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the job size (number of ranks).
+func (r *Rank) Size() int { return len(r.job.ranks) }
+
+// Node returns the node this rank runs on.
+func (r *Rank) Node() *kernel.Node { return r.node }
+
+// Thread returns the rank's kernel thread. Programs use it for Run/Sleep
+// between communication calls.
+func (r *Rank) Thread() *kernel.Thread { return r.thread }
+
+// ProgressThread returns the rank's MPI timer thread, or nil when the
+// progress engine is disabled.
+func (r *Rank) ProgressThread() *kernel.Thread { return r.progress }
+
+// Now returns the current simulated time (convenience for timing loops).
+func (r *Rank) Now() sim.Time { return r.job.eng.Now() }
+
+// Compute consumes d of CPU time, then continues. It is the "computation
+// phase" primitive of the bulk-synchronous model.
+func (r *Rank) Compute(d sim.Time, then func()) {
+	r.thread.Run(d, then)
+}
+
+// Done finishes the rank (MPI_Finalize + process exit).
+func (r *Rank) Done() {
+	if r.done {
+		panic(fmt.Sprintf("mpi: rank %d Done twice", r.id))
+	}
+	r.done = true
+	r.job.rankDone(r)
+	r.thread.Exit()
+}
+
+// Detach asks the co-scheduler to stop boosting this task (the paper's
+// escape mechanism for I/O phases). then continues after the small control
+// pipe write. No-op without a registry.
+func (r *Rank) Detach(then func()) {
+	r.controlPipe(func() {
+		if r.job.registry != nil {
+			r.job.registry.DetachProcess(r.node, r.thread.Proc)
+		}
+	}, then)
+}
+
+// Attach re-enrolls the task with the co-scheduler.
+func (r *Rank) Attach(then func()) {
+	r.controlPipe(func() {
+		if r.job.registry != nil {
+			r.job.registry.AttachProcess(r.node, r.thread.Proc)
+		}
+	}, then)
+}
+
+// EnterFineGrain announces a fine-grain region to the co-scheduler (the
+// paper's §7 mechanism). A no-op when the registry does not support hints.
+func (r *Rank) EnterFineGrain(then func()) {
+	r.controlPipe(func() {
+		if fg, ok := r.job.registry.(FineGrainRegistry); ok {
+			fg.EnterFineGrain(r.node, r.thread.Proc)
+		}
+	}, then)
+}
+
+// ExitFineGrain ends a fine-grain region.
+func (r *Rank) ExitFineGrain(then func()) {
+	r.controlPipe(func() {
+		if fg, ok := r.job.registry.(FineGrainRegistry); ok {
+			fg.ExitFineGrain(r.node, r.thread.Proc)
+		}
+	}, then)
+}
+
+// controlPipe charges a small CPU cost for the pipe write, performs the
+// action, and continues.
+func (r *Rank) controlPipe(action func(), then func()) {
+	r.thread.Run(2*sim.Microsecond, func() {
+		action()
+		then()
+	})
+}
+
+// Send posts a bytes-sized message carrying value to rank dst under tag,
+// then continues. The send overhead is charged to this rank's CPU; delivery
+// is asynchronous.
+func (r *Rank) Send(dst, tag int, value float64, bytes int, then func()) {
+	if dst < 0 || dst >= len(r.job.ranks) {
+		panic(fmt.Sprintf("mpi: rank %d Send to invalid rank %d", r.id, dst))
+	}
+	r.thread.Run(r.job.cfg.SendOverhead, func() {
+		r.job.p2pSends++
+		target := r.job.ranks[dst]
+		msg := message{value: value, bytes: bytes}
+		key := msgKey{src: r.id, tag: tag}
+		r.job.fabric.Send(r.node.ID(), target.node.ID(), bytes, func() {
+			target.deliver(key, msg)
+		})
+		then()
+	})
+}
+
+// Recv waits for a message from src under tag and continues with its value.
+// If the message already arrived it completes after the receive overhead;
+// otherwise the task blocks (the progress engine and scheduler decide when
+// it runs again — this is precisely where OS noise injects latency).
+func (r *Rank) Recv(src, tag int, then func(value float64)) {
+	key := msgKey{src: src, tag: tag}
+	if q := r.inbox[key]; len(q) > 0 {
+		msg := q[0]
+		if len(q) == 1 {
+			delete(r.inbox, key)
+		} else {
+			r.inbox[key] = q[1:]
+		}
+		r.thread.Run(r.job.cfg.RecvOverhead, func() { then(msg.value) })
+		return
+	}
+	if r.waiting != nil {
+		panic(fmt.Sprintf("mpi: rank %d has two pending receives", r.id))
+	}
+	var got message
+	r.waiting = &pendingRecv{key: key, cont: func(m message) { got = m }}
+	finish := func() {
+		r.thread.Run(r.job.cfg.RecvOverhead, func() { then(got.value) })
+	}
+	if r.job.cfg.WaitMode == WaitPoll {
+		r.thread.SpinWait(finish)
+	} else {
+		r.thread.Block(finish)
+	}
+}
+
+// deliver runs at message arrival (interrupt context): hand the payload to
+// a matching blocked receive, or queue it as an early arrival.
+func (r *Rank) deliver(key msgKey, msg message) {
+	if w := r.waiting; w != nil && w.key == key {
+		r.waiting = nil
+		w.cont(msg)
+		if r.job.cfg.WaitMode == WaitPoll {
+			r.thread.Signal()
+		} else {
+			r.thread.Wakeup()
+		}
+		return
+	}
+	r.inbox[key] = append(r.inbox[key], msg)
+}
+
+// SendRecv exchanges with a partner: post the send, then wait for the
+// partner's message (the building block of recursive doubling).
+func (r *Rank) SendRecv(peer, tag int, value float64, bytes int, then func(recv float64)) {
+	r.Send(peer, tag, value, bytes, func() {
+		r.Recv(peer, tag, then)
+	})
+}

@@ -1,0 +1,182 @@
+package mpi
+
+// Rooted collectives: binomial-tree Bcast and Reduce, a linear Gather, and
+// an inclusive Scan. The aggregate benchmark only needs Allreduce, but real
+// SPMD codes (and the ALE3D proxy's I/O marshalling) use the rooted forms,
+// and they exercise different interference patterns: a Reduce's critical
+// path runs *toward* the root, so a single delayed leaf stalls only its
+// ancestors rather than every rank.
+
+// relRank maps a rank into root-relative space so binomial trees can be
+// rooted anywhere.
+func relRank(rank, root, n int) int { return (rank - root + n) % n }
+
+// absRank inverts relRank.
+func absRank(rel, root, n int) int { return (rel + root) % n }
+
+// log2of returns floor(log2(mask)) for a power-of-two mask.
+func log2of(mask int) int {
+	k := 0
+	for mask > 1 {
+		mask >>= 1
+		k++
+	}
+	return k
+}
+
+// Bcast distributes root's value to every rank over a binomial tree
+// (MPICH's algorithm: each non-root receives once at its lowest set bit,
+// then forwards to every lower bit position). Non-root callers pass any
+// value; every rank continues with root's.
+func (r *Rank) Bcast(root int, value float64, then func(v float64)) {
+	n := r.Size()
+	base := r.nextTagBase()
+	if n == 1 {
+		r.thread.Run(0, func() { then(value) })
+		return
+	}
+	rel := relRank(r.id, root, n)
+	bytes := r.job.cfg.ElemBytes
+	got := value
+
+	// sendPhase forwards to rel+m for m = startMask>>1, >>2, ... while in
+	// range, then continues with the received value.
+	var sendPhase func(m int)
+	sendPhase = func(m int) {
+		if m == 0 {
+			then(got)
+			return
+		}
+		if rel+m < n {
+			r.Send(absRank(rel+m, root, n), base+tagRound0+log2of(m), got, bytes, func() {
+				sendPhase(m >> 1)
+			})
+			return
+		}
+		sendPhase(m >> 1)
+	}
+
+	if rel == 0 {
+		// Root: find the top mask and start forwarding.
+		mask := 1
+		for mask < n {
+			mask <<= 1
+		}
+		sendPhase(mask >> 1)
+		return
+	}
+	// Non-root: the receiving round is the lowest set bit of rel.
+	mask := 1
+	for rel&mask == 0 {
+		mask <<= 1
+	}
+	r.Recv(absRank(rel-mask, root, n), base+tagRound0+log2of(mask), func(v float64) {
+		got = v
+		sendPhase(mask >> 1)
+	})
+}
+
+// Reduce combines every rank's value at root (sum) over a binomial tree.
+// Only root's continuation receives the total; other ranks get their
+// partial sum (callers should ignore it), mirroring MPI's undefined recv
+// buffer on non-roots.
+func (r *Rank) Reduce(root int, value float64, then func(sum float64)) {
+	n := r.Size()
+	base := r.nextTagBase()
+	if n == 1 {
+		r.thread.Run(r.job.cfg.ReduceCost, func() { then(value) })
+		return
+	}
+	rel := relRank(r.id, root, n)
+	bytes := r.job.cfg.ElemBytes
+	acc := value
+
+	var round func(j int)
+	round = func(j int) {
+		bit := 1 << j
+		if bit >= n {
+			then(acc) // only relative rank 0 (the root) reaches this
+			return
+		}
+		if rel&bit != 0 {
+			// Fold our partial into the parent and finish.
+			r.Send(absRank(rel-bit, root, n), base+tagRound0+j, acc, bytes, func() {
+				then(acc)
+			})
+			return
+		}
+		if rel+bit < n {
+			// Receive a child's partial and keep climbing.
+			r.Recv(absRank(rel+bit, root, n), base+tagRound0+j, func(v float64) {
+				r.thread.Run(r.job.cfg.ReduceCost, func() {
+					acc += v
+					round(j + 1)
+				})
+			})
+			return
+		}
+		round(j + 1)
+	}
+	round(0)
+}
+
+// Gather collects every rank's value at root; root continues with a slice
+// indexed by rank, others with nil. Linear algorithm, as 2003-era codes
+// typically gathered for I/O marshalling.
+func (r *Rank) Gather(root int, value float64, then func(values []float64)) {
+	n := r.Size()
+	base := r.nextTagBase()
+	bytes := r.job.cfg.ElemBytes
+	if r.id != root {
+		r.Send(root, base+tagRound0+r.id%32, value, bytes, func() { then(nil) })
+		return
+	}
+	values := make([]float64, n)
+	values[root] = value
+	if n == 1 {
+		r.thread.Run(0, func() { then(values) })
+		return
+	}
+	var collect func(k int)
+	collect = func(k int) {
+		if k == n {
+			then(values)
+			return
+		}
+		if k == root {
+			collect(k + 1)
+			return
+		}
+		r.Recv(k, base+tagRound0+k%32, func(v float64) {
+			values[k] = v
+			collect(k + 1)
+		})
+	}
+	collect(0)
+}
+
+// Scan computes the inclusive prefix sum: rank i continues with the sum of
+// values from ranks 0..i. Linear chain algorithm.
+func (r *Rank) Scan(value float64, then func(prefix float64)) {
+	n := r.Size()
+	base := r.nextTagBase()
+	bytes := r.job.cfg.ElemBytes
+	acc := value
+	forward := func() {
+		if r.id+1 < n {
+			r.Send(r.id+1, base+tagRound0, acc, bytes, func() { then(acc) })
+			return
+		}
+		then(acc)
+	}
+	if r.id == 0 {
+		r.thread.Run(r.job.cfg.ReduceCost, forward)
+		return
+	}
+	r.Recv(r.id-1, base+tagRound0, func(v float64) {
+		r.thread.Run(r.job.cfg.ReduceCost, func() {
+			acc += v
+			forward()
+		})
+	})
+}

@@ -1,0 +1,217 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coschedsim/internal/sim"
+)
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 19} {
+		for root := 0; root < n; root += (n + 2) / 3 {
+			eng, job := testCluster(t, 1, n, 4, quietConfig())
+			got := make([]float64, n)
+			job.Launch(func(r *Rank) {
+				v := -1.0
+				if r.ID() == root {
+					v = 42.5
+				}
+				r.Bcast(root, v, func(out float64) {
+					got[r.ID()] = out
+					r.Done()
+				})
+			})
+			runToCompletion(t, eng, job)
+			for rank, v := range got {
+				if v != 42.5 {
+					t.Fatalf("n=%d root=%d rank=%d got %v, want 42.5", n, root, rank, v)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16} {
+		for root := 0; root < n; root += (n + 2) / 3 {
+			eng, job := testCluster(t, 2, n, 4, quietConfig())
+			var rootSum float64
+			var want float64
+			for i := 0; i < n; i++ {
+				want += float64(i + 1)
+			}
+			job.Launch(func(r *Rank) {
+				r.Reduce(root, float64(r.ID()+1), func(sum float64) {
+					if r.ID() == root {
+						rootSum = sum
+					}
+					r.Done()
+				})
+			})
+			runToCompletion(t, eng, job)
+			if math.Abs(rootSum-want) > 1e-9 {
+				t.Fatalf("n=%d root=%d sum=%v, want %v", n, root, rootSum, want)
+			}
+		}
+	}
+}
+
+func TestReduceRandomProperty(t *testing.T) {
+	f := func(raw []float64, nRaw, rootRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		root := int(rootRaw) % n
+		values := make([]float64, n)
+		var want float64
+		for i := range values {
+			v := float64(i)
+			if i < len(raw) && !math.IsNaN(raw[i]) && !math.IsInf(raw[i], 0) {
+				v = math.Mod(raw[i], 1e6)
+			}
+			values[i] = v
+			want += v
+		}
+		eng, job := testCluster(t, 3, n, 4, quietConfig())
+		var got float64
+		job.Launch(func(r *Rank) {
+			r.Reduce(root, values[r.ID()], func(sum float64) {
+				if r.ID() == root {
+					got = sum
+				}
+				r.Done()
+			})
+		})
+		runToCompletion(t, eng, job)
+		return math.Abs(got-want) <= 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherCollectsInRankOrder(t *testing.T) {
+	for _, n := range []int{1, 2, 6, 11} {
+		root := n / 2
+		eng, job := testCluster(t, 4, n, 4, quietConfig())
+		var got []float64
+		job.Launch(func(r *Rank) {
+			r.Gather(root, float64(100+r.ID()), func(vs []float64) {
+				if r.ID() == root {
+					got = vs
+				} else if vs != nil {
+					t.Errorf("non-root rank %d got non-nil gather result", r.ID())
+				}
+				r.Done()
+			})
+		})
+		runToCompletion(t, eng, job)
+		if len(got) != n {
+			t.Fatalf("n=%d: root got %d values", n, len(got))
+		}
+		for i, v := range got {
+			if v != float64(100+i) {
+				t.Fatalf("n=%d: values[%d] = %v", n, i, v)
+			}
+		}
+	}
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	const n = 9
+	eng, job := testCluster(t, 5, n, 3, quietConfig())
+	got := make([]float64, n)
+	job.Launch(func(r *Rank) {
+		r.Scan(float64(r.ID()+1), func(prefix float64) {
+			got[r.ID()] = prefix
+			r.Done()
+		})
+	})
+	runToCompletion(t, eng, job)
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += float64(i + 1)
+		if got[i] != want {
+			t.Fatalf("scan[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// TestBcastReduceRoundTrip chains Bcast and Reduce (the usual "distribute
+// parameters, collect residual" pattern) and checks both directions with
+// reordering jitter.
+func TestBcastReduceRoundTrip(t *testing.T) {
+	const n = 14
+	eng, job := jitterCluster(t, 6, n, 4, quietConfig())
+	okAll := true
+	var total float64
+	job.Launch(func(r *Rank) {
+		seedVal := 0.0
+		if r.ID() == 2 {
+			seedVal = 7
+		}
+		r.Bcast(2, seedVal, func(v float64) {
+			if v != 7 {
+				okAll = false
+			}
+			r.Reduce(5, v*float64(r.ID()), func(sum float64) {
+				if r.ID() == 5 {
+					total = sum
+				}
+				r.Done()
+			})
+		})
+	})
+	runToCompletion(t, eng, job)
+	if !okAll {
+		t.Fatal("bcast delivered wrong value")
+	}
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += 7 * float64(i)
+	}
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("reduce after bcast = %v, want %v", total, want)
+	}
+}
+
+// TestReduceMessageCount verifies the binomial tree sends exactly n-1
+// messages.
+func TestReduceMessageCount(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 13} {
+		eng, job := testCluster(t, 7, n, 4, quietConfig())
+		job.Launch(func(r *Rank) {
+			r.Reduce(0, 1, func(float64) { r.Done() })
+		})
+		runToCompletion(t, eng, job)
+		if got := job.P2PSends(); got != uint64(n-1) {
+			t.Fatalf("n=%d reduce sends = %d, want %d", n, got, n-1)
+		}
+	}
+}
+
+// TestBcastLatencyLogarithmic sanity-checks the tree depth: doubling the
+// ranks should add roughly one round, not double the time.
+func TestBcastLatencyLogarithmic(t *testing.T) {
+	measure := func(n int) sim.Time {
+		eng, job := testCluster(t, 8, n, 16, quietConfig())
+		var last sim.Time
+		job.Launch(func(r *Rank) {
+			r.Bcast(0, 1, func(float64) {
+				if t := r.Now(); t > last {
+					last = t
+				}
+				r.Done()
+			})
+		})
+		runToCompletion(t, eng, job)
+		return last
+	}
+	t16 := measure(16)
+	t64 := measure(64)
+	// 4 rounds -> 6 rounds plus the root's serial forwarding: well under
+	// the 4x a linear algorithm would cost.
+	if t64 > 3*t16 {
+		t.Fatalf("bcast not logarithmic: 16 ranks %v, 64 ranks %v", t16, t64)
+	}
+}

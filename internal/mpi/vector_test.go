@@ -1,0 +1,193 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coschedsim/internal/sim"
+)
+
+// runAllreduceVec executes one vector allreduce and returns every rank's
+// result.
+func runAllreduceVec(t testing.TB, seed int64, n, elems int, cfg Config) [][]float64 {
+	t.Helper()
+	eng, job := testCluster(t, seed, n, 4, cfg)
+	results := make([][]float64, n)
+	job.Launch(func(r *Rank) {
+		vec := make([]float64, elems)
+		for i := range vec {
+			vec[i] = float64(r.ID()*elems + i)
+		}
+		r.AllreduceVec(vec, func(sums []float64) {
+			results[r.ID()] = sums
+			r.Done()
+		})
+	})
+	runToCompletion(t, eng, job)
+	return results
+}
+
+func wantVecSums(n, elems int) []float64 {
+	want := make([]float64, elems)
+	for rank := 0; rank < n; rank++ {
+		for i := range want {
+			want[i] += float64(rank*elems + i)
+		}
+	}
+	return want
+}
+
+func checkVec(t *testing.T, label string, results [][]float64, want []float64) {
+	t.Helper()
+	for rank, got := range results {
+		if len(got) != len(want) {
+			t.Fatalf("%s rank %d: %d elems, want %d", label, rank, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("%s rank %d elem %d: %v, want %v", label, rank, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllreduceVecShortPath(t *testing.T) {
+	// Below the long-vector threshold: recursive doubling over vectors.
+	for _, n := range []int{1, 2, 3, 5, 8, 12} {
+		results := runAllreduceVec(t, 1, n, 16, quietConfig()) // 128B < 4KB
+		checkVec(t, "short", results, wantVecSums(n, 16))
+	}
+}
+
+func TestAllreduceVecRabenseifnerPath(t *testing.T) {
+	// Power-of-two ranks, payload over the threshold: reduce-scatter +
+	// allgather.
+	for _, n := range []int{2, 4, 8, 16} {
+		elems := 1024 // 8KB > 4KB threshold
+		results := runAllreduceVec(t, 2, n, elems, quietConfig())
+		checkVec(t, "rabenseifner", results, wantVecSums(n, elems))
+	}
+}
+
+func TestAllreduceVecNonPowerOfTwoFallsBack(t *testing.T) {
+	// Long payload but 6 ranks: must fall back to recursive doubling and
+	// still be exact.
+	results := runAllreduceVec(t, 3, 6, 1024, quietConfig())
+	checkVec(t, "fallback", results, wantVecSums(6, 1024))
+}
+
+func TestAllreduceVecRandomProperty(t *testing.T) {
+	f := func(nRaw, elemsRaw uint8, longThreshold bool) bool {
+		n := int(nRaw%16) + 1
+		elems := int(elemsRaw%64) + 1
+		cfg := quietConfig()
+		if longThreshold {
+			cfg.LongVectorBytes = 1 // force the long path whenever eligible
+		}
+		eng, job := testCluster(t, int64(nRaw)*31+int64(elemsRaw), n, 4, cfg)
+		ok := true
+		want := make([]float64, elems)
+		for rank := 0; rank < n; rank++ {
+			for i := 0; i < elems; i++ {
+				want[i] += float64(rank + i*i)
+			}
+		}
+		job.Launch(func(r *Rank) {
+			vec := make([]float64, elems)
+			for i := range vec {
+				vec[i] = float64(r.ID() + i*i)
+			}
+			r.AllreduceVec(vec, func(sums []float64) {
+				for i := range want {
+					if math.Abs(sums[i]-want[i]) > 1e-6 {
+						ok = false
+					}
+				}
+				r.Done()
+			})
+		})
+		runToCompletion(t, eng, job)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRabenseifnerMovesFewerBytes verifies the point of the algorithm: for
+// long vectors the per-rank traffic is ~2x the vector, not log2(N)x.
+func TestRabenseifnerMovesFewerBytes(t *testing.T) {
+	measure := func(threshold int) uint64 {
+		cfg := quietConfig()
+		cfg.LongVectorBytes = threshold
+		eng, job := testCluster(t, 5, 16, 4, cfg)
+		job.Launch(func(r *Rank) {
+			vec := make([]float64, 4096) // 32KB
+			r.AllreduceVec(vec, func([]float64) { r.Done() })
+		})
+		runToCompletion(t, eng, job)
+		// Bytes through the fabric (local+remote).
+		return jobFabricBytes(job)
+	}
+	longPath := measure(1024)     // Rabenseifner
+	shortPath := measure(1 << 30) // recursive doubling forced
+	if longPath*2 > shortPath {
+		t.Fatalf("rabenseifner moved %d bytes, recursive doubling %d — expected ~log2(N)/2 x reduction",
+			longPath, shortPath)
+	}
+}
+
+func jobFabricBytes(j *Job) uint64 { return j.fabric.Stats().Bytes }
+
+func TestAllreduceVecChainsWithScalars(t *testing.T) {
+	const n = 8
+	eng, job := testCluster(t, 7, n, 4, quietConfig())
+	ok := true
+	job.Launch(func(r *Rank) {
+		r.Allreduce(1, func(s float64) {
+			if s != n {
+				ok = false
+			}
+			vec := []float64{float64(r.ID()), 1}
+			r.AllreduceVec(vec, func(sums []float64) {
+				if sums[0] != float64(n*(n-1)/2) || sums[1] != n {
+					ok = false
+				}
+				r.Allreduce(2, func(s2 float64) {
+					if s2 != 2*n {
+						ok = false
+					}
+					r.Done()
+				})
+			})
+		})
+	})
+	runToCompletion(t, eng, job)
+	if !ok {
+		t.Fatal("mixed scalar/vector reductions produced wrong values")
+	}
+}
+
+func TestAllreduceVecLongerIsSlower(t *testing.T) {
+	measure := func(elems int) sim.Time {
+		cfg := quietConfig()
+		eng, job := testCluster(t, 9, 8, 4, cfg)
+		var done sim.Time
+		job.Launch(func(r *Rank) {
+			r.AllreduceVec(make([]float64, elems), func([]float64) {
+				if t := r.Now(); t > done {
+					done = t
+				}
+				r.Done()
+			})
+		})
+		runToCompletion(t, eng, job)
+		return done
+	}
+	small := measure(8)
+	big := measure(65536) // 512KB: bandwidth term dominates
+	if big <= small {
+		t.Fatalf("512KB allreduce (%v) not slower than 64B (%v)", big, small)
+	}
+}

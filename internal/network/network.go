@@ -1,0 +1,160 @@
+// Package network models the IBM SP switch fabric at the level the paper's
+// experiments need: point-to-point message delivery with configurable
+// latency, bandwidth and jitter, plus the switch's globally synchronized
+// clock register and its absence (drifting node-local clocks).
+package network
+
+import (
+	"fmt"
+
+	"coschedsim/internal/sim"
+)
+
+// Config parameterizes the fabric.
+type Config struct {
+	// Latency is the one-way delivery latency for inter-node messages.
+	Latency sim.Time
+
+	// LocalLatency applies when source and destination rank share a node
+	// (shared-memory MPI transport).
+	LocalLatency sim.Time
+
+	// BytesPerSecond adds a serialization term size/bandwidth; zero means
+	// infinite bandwidth (collective payloads in the paper's benchmark are
+	// 8-byte doubles, so latency dominates).
+	BytesPerSecond float64
+
+	// Jitter adds a uniform random [0, Jitter] term to every inter-node
+	// delivery.
+	Jitter sim.Time
+}
+
+// DefaultConfig is calibrated so the model time of a 944-task Allreduce is
+// approximately the paper's 350us (see DESIGN.md §4).
+func DefaultConfig() Config {
+	return Config{
+		Latency:        24 * sim.Microsecond,
+		LocalLatency:   2 * sim.Microsecond,
+		BytesPerSecond: 350e6, // ~350 MB/s SP switch-class link
+		Jitter:         0,
+	}
+}
+
+// Validate reports an error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Latency < 0 || c.LocalLatency < 0 || c.Jitter < 0:
+		return fmt.Errorf("network: negative latency/jitter in %+v", c)
+	case c.BytesPerSecond < 0:
+		return fmt.Errorf("network: negative bandwidth in %+v", c)
+	}
+	return nil
+}
+
+// Stats counts fabric traffic.
+type Stats struct {
+	Messages      uint64
+	Bytes         uint64
+	LocalMessages uint64
+}
+
+// Fabric delivers messages between nodes.
+type Fabric struct {
+	eng  *sim.Engine
+	cfg  Config
+	rng  *sim.Rand
+	stat Stats
+}
+
+// NewFabric builds a fabric on the engine.
+func NewFabric(eng *sim.Engine, cfg Config) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{eng: eng, cfg: cfg, rng: eng.Rand("network")}, nil
+}
+
+// MustFabric is NewFabric for static configurations.
+func MustFabric(eng *sim.Engine, cfg Config) *Fabric {
+	f, err := NewFabric(eng, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Stats returns traffic counters.
+func (f *Fabric) Stats() Stats { return f.stat }
+
+// DeliveryTime computes when a message sent now arrives, without sending it.
+func (f *Fabric) DeliveryTime(srcNode, dstNode, size int) sim.Time {
+	lat := f.cfg.Latency
+	if srcNode == dstNode {
+		lat = f.cfg.LocalLatency
+	} else if f.cfg.Jitter > 0 {
+		lat += f.rng.Duration(f.cfg.Jitter + 1)
+	}
+	if f.cfg.BytesPerSecond > 0 && size > 0 {
+		lat += sim.Time(float64(size) / f.cfg.BytesPerSecond * float64(sim.Second))
+	}
+	return f.eng.Now() + lat
+}
+
+// Send schedules deliver to run when a size-byte message from srcNode
+// reaches dstNode.
+func (f *Fabric) Send(srcNode, dstNode, size int, deliver func()) {
+	if deliver == nil {
+		panic("network: Send with nil deliver")
+	}
+	f.stat.Messages++
+	f.stat.Bytes += uint64(size)
+	if srcNode == dstNode {
+		f.stat.LocalMessages++
+	}
+	f.eng.At(f.DeliveryTime(srcNode, dstNode, size), "msg", deliver)
+}
+
+// Clock is a time source as seen by one node. The co-scheduler aligns its
+// scheduling windows to *its* clock; whether windows line up across nodes
+// depends on which clock implementation the cluster uses.
+type Clock interface {
+	// Now returns the node's current idea of the time.
+	Now() sim.Time
+}
+
+// SwitchClock is the SP switch's globally synchronized time register: every
+// node reads identical values, so window boundaries align cluster-wide.
+type SwitchClock struct {
+	eng *sim.Engine
+}
+
+// NewSwitchClock returns the global clock.
+func NewSwitchClock(eng *sim.Engine) *SwitchClock { return &SwitchClock{eng: eng} }
+
+// Now implements Clock.
+func (c *SwitchClock) Now() sim.Time { return c.eng.Now() }
+
+// LocalClock is an unsynchronized node clock offset from true time, as when
+// the switch register is unavailable and NTP has been turned off. Offsets of
+// up to ±0.5s model second-boundary alignment without a common epoch.
+type LocalClock struct {
+	eng    *sim.Engine
+	offset sim.Time
+}
+
+// NewLocalClock returns a node clock reading eng time + offset.
+func NewLocalClock(eng *sim.Engine, offset sim.Time) *LocalClock {
+	return &LocalClock{eng: eng, offset: offset}
+}
+
+// Now implements Clock.
+func (c *LocalClock) Now() sim.Time { return c.eng.Now() + c.offset }
+
+// Offset returns the clock's error relative to true (switch) time.
+func (c *LocalClock) Offset() sim.Time { return c.offset }
+
+// Step adjusts the clock error by d (failure injection: clock steps mid-run).
+func (c *LocalClock) Step(d sim.Time) { c.offset += d }

@@ -1,0 +1,267 @@
+package sim
+
+import "fmt"
+
+// Event is a scheduled callback. Events are created through Engine.At or
+// Engine.After and may be canceled before they fire. The zero Event is not
+// usable.
+//
+// Ownership discipline: a fired event's *Event may be recycled by the
+// engine; do not retain or Cancel an event pointer after its callback has
+// run. Canceling a pending event you scheduled is always safe, as is
+// re-reading a canceled (never-fired) event.
+type Event struct {
+	fn       func()
+	index    int32 // heap index, -1 when not queued
+	canceled bool
+	when     Time
+	label    string // optional, for debugging
+}
+
+// When reports the time the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Label returns the debug label given at scheduling time (may be empty).
+func (e *Event) Label() string { return e.label }
+
+// entry is the heap cell: comparisons touch only this contiguous struct,
+// never the *Event, which keeps the hot siftDown loop cache-friendly.
+type entry struct {
+	when Time
+	seq  uint64
+	ev   *Event
+}
+
+func (a entry) before(b entry) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// Engine is the discrete-event simulation core. It is not safe for
+// concurrent use; the whole simulation is single-goroutine by design so that
+// runs are deterministic. The queue is a 4-ary heap of value entries with a
+// free list of Event records for the fire path.
+type Engine struct {
+	now       Time
+	heap      []entry
+	seq       uint64
+	fired     uint64
+	scheduled uint64
+	stopped   bool
+	rng       *Source
+	free      []*Event
+}
+
+// NewEngine returns an engine at time zero whose random streams derive from
+// seed. The same seed always yields the same simulation.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewSource(seed)}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Scheduled reports how many events have ever been scheduled.
+func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
+// Rand returns a deterministic random stream for the named component.
+// Repeated calls with the same name return independent streams whose
+// sequences depend only on the engine seed and the name.
+func (e *Engine) Rand(name string) *Rand { return e.rng.Stream(name) }
+
+// siftUp restores heap order from position i toward the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	item := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !item.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].ev.index = int32(i)
+		i = parent
+	}
+	h[i] = item
+	item.ev.index = int32(i)
+}
+
+// siftDown restores heap order from position i toward the leaves.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	item := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(h[best]) {
+				best = c
+			}
+		}
+		if !h[best].before(item) {
+			break
+		}
+		h[i] = h[best]
+		h[i].ev.index = int32(i)
+		i = best
+	}
+	h[i] = item
+	item.ev.index = int32(i)
+}
+
+// At schedules fn to run at time t. Scheduling in the past (t < Now) panics:
+// it always indicates a model bug, and silently reordering time would
+// destroy causality. label is kept for debugging and may be empty.
+func (e *Engine) At(t Time, label string, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At with nil fn")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, t, e.now))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = Event{fn: fn, when: t, label: label}
+	} else {
+		ev = &Event{fn: fn, when: t, label: label}
+	}
+	ev.index = int32(len(e.heap))
+	e.heap = append(e.heap, entry{when: t, seq: e.seq, ev: ev})
+	e.seq++
+	e.scheduled++
+	e.siftUp(len(e.heap) - 1)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Time, label string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After with negative duration %v", d))
+	}
+	return e.At(e.now+d, label, fn)
+}
+
+// removeAt deletes the heap entry at index i.
+func (e *Engine) removeAt(i int) {
+	h := e.heap
+	n := len(h) - 1
+	h[i].ev.index = -1
+	if i != n {
+		h[i] = h[n]
+		h[i].ev.index = int32(i)
+	}
+	e.heap = h[:n]
+	if i < n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+// Cancel removes ev from the queue. Canceling an already-fired or
+// already-canceled event is a no-op. Cancel is O(log n).
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		e.removeAt(int(ev.index))
+		ev.fn = nil
+	}
+}
+
+// Reschedule moves a pending event to a new time, preserving identity. It
+// is equivalent to Cancel + At but cheaper and keeps the same *Event.
+// Panics if the event already fired or was canceled, or if t is in the
+// past.
+func (e *Engine) Reschedule(ev *Event, t Time) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		panic("sim: Reschedule of dead event")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling %q at %v before now %v", ev.label, t, e.now))
+	}
+	i := int(ev.index)
+	ev.when = t
+	e.heap[i].when = t
+	e.heap[i].seq = e.seq
+	e.seq++
+	e.siftDown(i)
+	e.siftUp(i)
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	ev := e.heap[0].ev
+	e.removeAt(0)
+	return ev
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports false if the queue is empty or the engine was stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.heap) == 0 {
+		return false
+	}
+	when := e.heap[0].when
+	if when < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	ev := e.popMin()
+	e.now = when
+	e.fired++
+	fn := ev.fn
+	ev.fn = nil
+	// Recycle before running fn: fn must not retain ev (documented), and
+	// recycling first lets fn's own scheduling reuse the slot.
+	if len(e.free) < 4096 {
+		e.free = append(e.free, ev)
+	}
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty, the engine is stopped, or
+// the next event lies strictly after until. The clock is left at the last
+// fired event's time (it does not jump to until). It returns the number of
+// events fired by this call.
+func (e *Engine) Run(until Time) uint64 {
+	start := e.fired
+	for !e.stopped && len(e.heap) > 0 && e.heap[0].when <= until {
+		e.Step()
+	}
+	return e.fired - start
+}
+
+// RunUntilIdle executes events until none remain or the engine is stopped.
+func (e *Engine) RunUntilIdle() uint64 { return e.Run(Forever) }
+
+// Stop halts the run loop after the current event returns. Subsequent Step
+// and Run calls do nothing until the engine is discarded; Stop is intended
+// for terminating a run once the measured workload completes, without
+// draining periodic daemon events that would otherwise run forever.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (e *Engine) Stopped() bool { return e.stopped }

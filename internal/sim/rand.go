@@ -1,0 +1,137 @@
+package sim
+
+import "math"
+
+// Source derives independent deterministic random streams by name. Each
+// stream is an xoshiro256**-style generator seeded from the root seed and a
+// hash of the stream name, so adding a new consumer of randomness never
+// perturbs the sequences seen by existing consumers (a property plain
+// math/rand sharing would not give us).
+type Source struct {
+	seed int64
+}
+
+// NewSource returns a stream factory rooted at seed.
+func NewSource(seed int64) *Source { return &Source{seed: seed} }
+
+// Stream returns the named random stream. Calling Stream twice with the same
+// name returns generators that produce the same sequence from the start.
+func (s *Source) Stream(name string) *Rand {
+	h := uint64(s.seed) ^ 0x9e3779b97f4a7c15
+	for _, c := range name {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return NewRand(h)
+}
+
+// Rand is a small, fast, deterministic PRNG (splitmix64-initialized
+// xoshiro256**). It intentionally implements only the operations the
+// simulator needs.
+type Rand struct {
+	s [4]uint64
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRand returns a generator seeded from state.
+func NewRand(state uint64) *Rand {
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = splitmix64(&state)
+	}
+	// Avoid the all-zero state, which is a fixed point.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Int63n returns a uniform value in [0, n). Panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(math.MaxUint64) - uint64(math.MaxUint64)%uint64(n)
+	for {
+		v := r.Uint64()
+		if v < max {
+			return int64(v % uint64(n))
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n). Panics if n <= 0.
+func (r *Rand) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a uniform simulated duration in [0, d). Panics if d <= 0.
+func (r *Rand) Duration(d Time) Time { return Time(r.Int63n(int64(d))) }
+
+// Jitter returns base perturbed by a uniform offset in [-spread, +spread],
+// clamped to be non-negative.
+func (r *Rand) Jitter(base, spread Time) Time {
+	if spread <= 0 {
+		return base
+	}
+	v := base + Time(r.Int63n(int64(2*spread+1))) - spread
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// truncated at 20x the mean to keep event horizons bounded.
+func (r *Rand) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// Guard u==0, which would yield +Inf.
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := Time(-math.Log(u) * float64(mean))
+	if limit := 20 * mean; d > limit {
+		return limit
+	}
+	return d
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

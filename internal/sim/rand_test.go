@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewSource(42).Stream("daemons")
+	b := NewSource(42).Stream("daemons")
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed+name diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	a := NewSource(42).Stream("daemons")
+	b := NewSource(42).Stream("network")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("streams with different names matched %d/100 draws", same)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := NewSource(1).Stream("x")
+	b := NewSource(2).Stream("x")
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := NewRand(9)
+	for _, n := range []int64{1, 2, 7, 1000, math.MaxInt64} {
+		for i := 0; i < 200; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	NewRand(1).Int63n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRand(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestJitter(t *testing.T) {
+	r := NewRand(11)
+	base, spread := 100*Microsecond, 30*Microsecond
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(base, spread)
+		if v < base-spread || v > base+spread {
+			t.Fatalf("Jitter out of band: %v", v)
+		}
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("Jitter with zero spread must return base")
+	}
+	// Clamp at zero.
+	for i := 0; i < 100; i++ {
+		if v := r.Jitter(1, 100); v < 0 {
+			t.Fatalf("Jitter returned negative %v", v)
+		}
+	}
+}
+
+func TestExpMeanAndTruncation(t *testing.T) {
+	r := NewRand(13)
+	mean := 10 * Millisecond
+	var sum Time
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 || v > 20*mean {
+			t.Fatalf("Exp out of range: %v", v)
+		}
+		sum += v
+	}
+	got := float64(sum) / n / float64(mean)
+	if got < 0.9 || got > 1.1 {
+		t.Fatalf("Exp sample mean/mean = %v, want ~1", got)
+	}
+	if r.Exp(0) != 0 {
+		t.Fatal("Exp(0) must be 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRand(uint64(nRaw)).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationRange(t *testing.T) {
+	r := NewRand(17)
+	for i := 0; i < 1000; i++ {
+		v := r.Duration(Second)
+		if v < 0 || v >= Second {
+			t.Fatalf("Duration out of range: %v", v)
+		}
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatalf("Second = %d, want 1e9", int64(Second))
+	}
+	if Minute != 60*Second || Hour != 60*Minute {
+		t.Fatal("minute/hour derivation broken")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Nanosecond).Micros(); got != 1.5 {
+		t.Errorf("Micros = %v, want 1.5", got)
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Errorf("Millis = %v, want 2.5", got)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{350 * Microsecond, "350us"},
+		{10 * Millisecond, "10ms"},
+		{5 * Second, "5s"},
+		{Forever, "forever"},
+		{-2 * Second, "-2s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestAlignUpDown(t *testing.T) {
+	if got := Time(25).AlignUp(10); got != 30 {
+		t.Errorf("AlignUp(25,10) = %d", got)
+	}
+	if got := Time(30).AlignUp(10); got != 30 {
+		t.Errorf("AlignUp(30,10) = %d", got)
+	}
+	if got := Time(25).AlignDown(10); got != 20 {
+		t.Errorf("AlignDown(25,10) = %d", got)
+	}
+	if got := Time(0).AlignUp(7); got != 0 {
+		t.Errorf("AlignUp(0,7) = %d", got)
+	}
+}
+
+func TestAlignPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AlignUp(_,0) did not panic")
+		}
+	}()
+	Time(5).AlignUp(0)
+}
+
+func TestAlignProperty(t *testing.T) {
+	f := func(v uint32, stepRaw uint16) bool {
+		tm := Time(v)
+		step := Time(stepRaw%1000 + 1)
+		up := tm.AlignUp(step)
+		down := tm.AlignDown(step)
+		return up%step == 0 && down%step == 0 &&
+			up >= tm && up-tm < step &&
+			down <= tm && tm-down < step
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+}

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 || s.Sum != 40 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample stddev of this set is sqrt(32/7).
+	if !almostEq(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Median != 3 || s.Stddev != 0 || s.Min != 3 || s.Max != 3 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {75, 32.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	got := Percentiles([]float64{10, 20, 30, 40}, 0, 50, 100)
+	want := []float64{10, 25, 40}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("Percentiles = %v, want %v", got, want)
+		}
+	}
+	if !math.IsNaN(Percentiles(nil, 50)[0]) {
+		t.Fatal("empty Percentiles must be NaN")
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 0
+			}
+		}
+		p := float64(pRaw) / 255 * 100
+		v := Percentile(raw, p)
+		s := Summarize(raw)
+		return v >= s.Min && v <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianBetweenMinAndMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 1
+			}
+			// Keep magnitudes sane so the sum cannot overflow.
+			raw[i] = math.Mod(raw[i], 1e6)
+		}
+		s := Summarize(raw)
+		return s.Median >= s.Min && s.Median <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.7*x + 166
+	}
+	f, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Slope, 0.7, 1e-9) || !almostEq(f.Intercept, 166, 1e-9) {
+		t.Fatalf("fit = %+v", f)
+	}
+	if !almostEq(f.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v, want 1", f.R2)
+	}
+	if !almostEq(f.Eval(10), 173, 1e-9) {
+		t.Fatalf("Eval(10) = %v", f.Eval(10))
+	}
+}
+
+func TestLinearFitRecoversRandomLineProperty(t *testing.T) {
+	f := func(slopeRaw, interRaw int16, n uint8) bool {
+		count := int(n%20) + 2
+		slope := float64(slopeRaw) / 100
+		inter := float64(interRaw)
+		xs := make([]float64, count)
+		ys := make([]float64, count)
+		for i := 0; i < count; i++ {
+			xs[i] = float64(i * 7)
+			ys[i] = slope*xs[i] + inter
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEq(fit.Slope, slope, 1e-6) && almostEq(fit.Intercept, inter, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err != ErrDegenerate {
+		t.Error("single point fit must be degenerate")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err != ErrDegenerate {
+		t.Error("constant-x fit must be degenerate")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err != ErrDegenerate {
+		t.Error("mismatched lengths must be degenerate")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	f, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Slope != 0 || f.Intercept != 5 || f.R2 != 1 {
+		t.Fatalf("constant-y fit = %+v", f)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	// The paper's usage: prototype 3x faster => "over 300%"... a 3x
+	// improvement is a 200% speedup in base/improved-1 form; the paper's
+	// "300%" counts the ratio itself. We expose the ratio-minus-one form.
+	if got := Speedup(300, 100); !almostEq(got, 200, 1e-12) {
+		t.Fatalf("Speedup(300,100) = %v, want 200", got)
+	}
+	if got := Speedup(254, 100); !almostEq(got, 154, 1e-12) {
+		t.Fatalf("Speedup(254,100) = %v, want 154", got)
+	}
+	if !math.IsNaN(Speedup(1, 0)) {
+		t.Fatal("Speedup with zero improved must be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 11 {
+		t.Fatalf("histogram total = %d, want 11", total)
+	}
+	if h.Counts[4] != 3 { // 8, 9, 10 (max lands in last bin)
+		t.Fatalf("last bin = %d, want 3 (counts %v)", h.Counts[4], h.Counts)
+	}
+	if h2 := NewHistogram([]float64{5, 5, 5}, 3); h2.Counts[0] != 3 {
+		t.Fatalf("constant histogram = %v", h2.Counts)
+	}
+	if h3 := NewHistogram(nil, 3); h3.Counts != nil {
+		t.Fatal("empty histogram must be zero value")
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := SortedCopy(xs)
+	if !sort.Float64sAreSorted(got) {
+		t.Fatal("SortedCopy not sorted")
+	}
+	if xs[0] != 3 {
+		t.Fatal("SortedCopy mutated input")
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 6} // total 10, above 5 => 6/10
+	if got := FractionAbove(xs, 5); !almostEq(got, 0.6, 1e-12) {
+		t.Fatalf("FractionAbove = %v, want 0.6", got)
+	}
+	if FractionAbove(nil, 1) != 0 {
+		t.Fatal("empty FractionAbove must be 0")
+	}
+}

@@ -1,0 +1,118 @@
+// Package workload implements the applications the paper measures:
+//
+//   - AggregateTrace — the synthetic aggregate_trace.c benchmark: loops of
+//     timed MPI_Allreduce calls with trace marks every 64th call.
+//   - BSP — a generic bulk-synchronous SPMD program (Figure 2's model):
+//     compute, then synchronize, repeatedly; used for the "Allreduce
+//     consumes >50% of total time" analysis.
+//   - ALE3D — a proxy for the LLNL multi-physics code: initial state read,
+//     timesteps of imbalanced compute + halo exchanges + global reductions,
+//     and a restart dump at the end, all through the GPFS service.
+package workload
+
+import (
+	"fmt"
+
+	"coschedsim/internal/cluster"
+	"coschedsim/internal/mpi"
+	"coschedsim/internal/sim"
+	"coschedsim/internal/trace"
+)
+
+// AggregateSpec configures the aggregate_trace benchmark.
+type AggregateSpec struct {
+	// Loops and CallsPerLoop mirror the paper's three loops of 4096 calls.
+	Loops        int
+	CallsPerLoop int
+	// TraceEvery inserts a trace mark around every k-th call (paper: 64).
+	// Zero disables marks.
+	TraceEvery int
+	// Compute is optional work between calls (the real benchmark "simulates
+	// the sorts of tasks programs may perform" around the Allreduce loop).
+	Compute sim.Time
+	// Tracer receives the marks (may be nil).
+	Tracer *trace.Buffer
+}
+
+// DefaultAggregateSpec mirrors the paper's benchmark at full size.
+func DefaultAggregateSpec() AggregateSpec {
+	return AggregateSpec{Loops: 3, CallsPerLoop: 4096, TraceEvery: 64}
+}
+
+// Validate reports an error for degenerate specs.
+func (s AggregateSpec) Validate() error {
+	if s.Loops <= 0 || s.CallsPerLoop <= 0 {
+		return fmt.Errorf("workload: aggregate needs positive loops and calls")
+	}
+	if s.TraceEvery < 0 || s.Compute < 0 {
+		return fmt.Errorf("workload: negative aggregate parameters")
+	}
+	return nil
+}
+
+// AggregateResult holds per-call timings measured at rank 0, which the
+// collective's synchronizing property makes representative of the job.
+type AggregateResult struct {
+	// TimesUS is the wall time of every Allreduce, in microseconds, in
+	// call order (Loops*CallsPerLoop entries).
+	TimesUS []float64
+	// Starts records when each timed call began (rank 0's clock), for
+	// trace-interval attribution of outliers.
+	Starts []sim.Time
+	// Wall is total benchmark wall time.
+	Wall sim.Time
+	// Completed reports whether every rank finished within the horizon.
+	Completed bool
+}
+
+// RunAggregate executes the benchmark on a built cluster and collects
+// timings. The horizon bounds runaway configurations.
+func RunAggregate(c *cluster.Cluster, spec AggregateSpec, horizon sim.Time) (AggregateResult, error) {
+	if err := spec.Validate(); err != nil {
+		return AggregateResult{}, err
+	}
+	total := spec.Loops * spec.CallsPerLoop
+	res := AggregateResult{TimesUS: make([]float64, 0, total)}
+	var t0 sim.Time
+
+	mark := func(r *mpi.Rank, i int, phase string) {
+		if spec.Tracer != nil && spec.TraceEvery > 0 && r.ID() == 0 && i%spec.TraceEvery == 0 {
+			spec.Tracer.Mark(r.Now(), r.Node().ID(), fmt.Sprintf("allreduce-%d-%s", i, phase))
+		}
+	}
+
+	program := func(r *mpi.Rank) {
+		var call func(i int)
+		call = func(i int) {
+			if i == total {
+				r.Done()
+				return
+			}
+			body := func() {
+				mark(r, i, "begin")
+				if r.ID() == 0 {
+					t0 = r.Now()
+					res.Starts = append(res.Starts, t0)
+				}
+				r.Allreduce(float64(i), func(float64) {
+					if r.ID() == 0 {
+						res.TimesUS = append(res.TimesUS, (r.Now() - t0).Micros())
+					}
+					mark(r, i, "end")
+					call(i + 1)
+				})
+			}
+			if spec.Compute > 0 {
+				r.Compute(spec.Compute, body)
+			} else {
+				body()
+			}
+		}
+		call(0)
+	}
+
+	wall, ok := c.Launch(program, horizon)
+	res.Wall = wall
+	res.Completed = ok
+	return res, nil
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"fmt"
+
+	"coschedsim/internal/cluster"
+	"coschedsim/internal/gpfs"
+	"coschedsim/internal/mpi"
+	"coschedsim/internal/sim"
+)
+
+// ALE3DSpec configures the proxy for LLNL's ALE3D explicit-hydrodynamics
+// test problem: read an initial state file, run ~50 timesteps of imbalanced
+// compute with nearest-neighbor (slide surface) exchanges and several global
+// reductions, then dump a restart file. I/O flows through the GPFS service,
+// whose mmfsd daemon must win CPU time for writes to drain — the crux of the
+// paper's production finding.
+type ALE3DSpec struct {
+	Timesteps int
+	// ComputeMean/Jitter model the Lagrange step + remap cost per rank per
+	// timestep.
+	ComputeMean   sim.Time
+	ComputeJitter sim.Time
+	// ExchangesPerStep is the number of halo (slide-surface) exchanges.
+	ExchangesPerStep int
+	// ReductionsPerStep is the number of global reductions (timestep
+	// control, energy sums).
+	ReductionsPerStep int
+	// HaloBytes is the payload per neighbor exchange.
+	HaloBytes int
+	// InitialReadBytes / RestartWriteBytes are per-rank I/O volumes.
+	InitialReadBytes  int
+	RestartWriteBytes int
+	// WriteChunks splits the restart dump into chunks interleaved with
+	// formatting compute, as real dumps are.
+	WriteChunks int
+	// ChunkFormatCPU is the per-chunk formatting cost.
+	ChunkFormatCPU sim.Time
+	// CheckpointEvery dumps a restart file every k timesteps in addition to
+	// the terminal dump (0: terminal only). Mid-run checkpoints are where
+	// the co-scheduler/I/O interaction bites: the buffered checkpoint data
+	// must drain while every CPU is busy with favored compute.
+	CheckpointEvery int
+	// DetachForIO uses the co-scheduler escape mechanism around I/O phases.
+	DetachForIO bool
+}
+
+// DefaultALE3DSpec is a scaled-down cylinder test problem: 50 timesteps,
+// ~15ms of compute per step per rank.
+func DefaultALE3DSpec() ALE3DSpec {
+	return ALE3DSpec{
+		Timesteps:         50,
+		ComputeMean:       15 * sim.Millisecond,
+		ComputeJitter:     3 * sim.Millisecond,
+		ExchangesPerStep:  2,
+		ReductionsPerStep: 4,
+		HaloBytes:         4 << 10,
+		InitialReadBytes:  2 << 20,
+		RestartWriteBytes: 8 << 20,
+		WriteChunks:       8,
+		ChunkFormatCPU:    2 * sim.Millisecond,
+		CheckpointEvery:   20,
+	}
+}
+
+// Validate reports an error for degenerate specs.
+func (s ALE3DSpec) Validate() error {
+	switch {
+	case s.Timesteps <= 0:
+		return fmt.Errorf("workload: ale3d needs positive timesteps")
+	case s.ComputeMean < 0 || s.ComputeJitter < 0 || s.ChunkFormatCPU < 0:
+		return fmt.Errorf("workload: negative ale3d durations")
+	case s.ExchangesPerStep < 0 || s.ReductionsPerStep < 0:
+		return fmt.Errorf("workload: negative ale3d phase counts")
+	case s.HaloBytes < 0 || s.InitialReadBytes < 0 || s.RestartWriteBytes < 0:
+		return fmt.Errorf("workload: negative ale3d byte counts")
+	case s.WriteChunks <= 0:
+		return fmt.Errorf("workload: ale3d needs positive write chunks")
+	case s.CheckpointEvery < 0:
+		return fmt.Errorf("workload: negative checkpoint interval")
+	}
+	return nil
+}
+
+// ALE3DResult reports run time and phase breakdown (rank 0's view).
+type ALE3DResult struct {
+	Wall      sim.Time
+	ReadTime  sim.Time // initial state read phase
+	StepTime  sim.Time // timestep loop
+	DumpTime  sim.Time // restart dump phase
+	Completed bool
+	IOStats   gpfs.Stats // aggregate over nodes
+	Timesteps int
+}
+
+// RunALE3D executes the proxy application. The cluster must have been built
+// with GPFS enabled.
+func RunALE3D(c *cluster.Cluster, spec ALE3DSpec, horizon sim.Time) (ALE3DResult, error) {
+	if err := spec.Validate(); err != nil {
+		return ALE3DResult{}, err
+	}
+	if len(c.IO) == 0 {
+		return ALE3DResult{}, fmt.Errorf("workload: ale3d requires a cluster with GPFS enabled")
+	}
+	res := ALE3DResult{}
+	rng := c.Eng.Rand("ale3d-imbalance")
+	svcFor := func(r *mpi.Rank) *gpfs.Service { return c.IO[r.Node().ID()] }
+
+	var readDone, stepsDone sim.Time
+
+	program := func(r *mpi.Rank) {
+		svc := svcFor(r)
+
+		// dump writes one restart file (chunked, interleaved with
+		// formatting compute), then continues. Detach/attach wrap it when
+		// the escape mechanism is in use.
+		dump := func(after func()) {
+			chunk := spec.RestartWriteBytes / spec.WriteChunks
+			var writeChunk func(k int)
+			writeChunk = func(k int) {
+				if k == spec.WriteChunks {
+					if spec.DetachForIO {
+						r.Attach(after)
+					} else {
+						after()
+					}
+					return
+				}
+				r.Compute(spec.ChunkFormatCPU, func() {
+					svc.Write(r.Thread(), chunk, func() { writeChunk(k + 1) })
+				})
+			}
+			if spec.DetachForIO {
+				r.Detach(func() { writeChunk(0) })
+			} else {
+				writeChunk(0)
+			}
+		}
+
+		finalize := func() {
+			if r.ID() == 0 {
+				stepsDone = r.Now()
+				res.StepTime = stepsDone - readDone
+				res.Timesteps = spec.Timesteps
+			}
+			// Terminal restart dump; a closing barrier holds early
+			// finishers in the job (spin-waiting) until every rank's data
+			// is buffered, as the real code's file close/consistency
+			// protocol does.
+			dump(func() {
+				r.Barrier(func() {
+					if r.ID() == 0 {
+						res.DumpTime = r.Now() - stepsDone
+					}
+					r.Done()
+				})
+			})
+		}
+
+		var step func(i int)
+		step = func(i int) {
+			if i == spec.Timesteps {
+				finalize()
+				return
+			}
+			work := rng.Jitter(spec.ComputeMean, spec.ComputeJitter)
+			r.Compute(work, func() {
+				var exchange func(k int)
+				var reduce func(k int)
+				next := func() {
+					if spec.CheckpointEvery > 0 && i+1 < spec.Timesteps && (i+1)%spec.CheckpointEvery == 0 {
+						// Mid-run checkpoint: dump, then resume stepping.
+						dump(func() { step(i + 1) })
+						return
+					}
+					step(i + 1)
+				}
+				exchange = func(k int) {
+					if k == spec.ExchangesPerStep {
+						reduce(0)
+						return
+					}
+					r.RingExchange(float64(r.ID()), spec.HaloBytes, func(_, _ float64) {
+						exchange(k + 1)
+					})
+				}
+				reduce = func(k int) {
+					if k == spec.ReductionsPerStep {
+						next()
+						return
+					}
+					r.Allreduce(work.Seconds(), func(float64) { reduce(k + 1) })
+				}
+				exchange(0)
+			})
+		}
+
+		// Initial state read (all ranks), then the timestep loop.
+		read := func() {
+			svc.Read(r.Thread(), spec.InitialReadBytes, func() {
+				finishRead := func() {
+					if r.ID() == 0 {
+						readDone = r.Now()
+						res.ReadTime = readDone
+					}
+					r.Barrier(func() { step(0) })
+				}
+				if spec.DetachForIO {
+					r.Attach(finishRead)
+				} else {
+					finishRead()
+				}
+			})
+		}
+		if spec.DetachForIO {
+			r.Detach(read)
+		} else {
+			read()
+		}
+	}
+
+	wall, ok := c.Launch(program, horizon)
+	res.Wall = wall
+	res.Completed = ok
+	for _, svc := range c.IO {
+		st := svc.Stats()
+		res.IOStats.BytesWritten += st.BytesWritten
+		res.IOStats.BytesRead += st.BytesRead
+		res.IOStats.WriterStalls += st.WriterStalls
+		res.IOStats.DaemonCPUTime += st.DaemonCPUTime
+	}
+	return res, nil
+}

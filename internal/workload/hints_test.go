@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"coschedsim/internal/cluster"
+	"coschedsim/internal/cosched"
+	"coschedsim/internal/sim"
+)
+
+// TestBSPFineGrainHintsProduceExtensions checks the hint plumbing end to
+// end: a hinting BSP job on a hint-aware co-scheduler produces favored
+// window extensions; the same job without hints produces none.
+func TestBSPFineGrainHintsProduceExtensions(t *testing.T) {
+	run := func(hints bool) sim.Time {
+		cfg := cluster.Prototype(1, 8, 11)
+		cfg.CPUsPerNode = 8
+		cfg.Kernel.NumCPUs = 8
+		params := cosched.HintAwareParams()
+		params.Period = 250 * sim.Millisecond
+		params.Duty = 0.80
+		params.MaxFineGrainExtension = 40 * sim.Millisecond
+		cfg.Cosched = &params
+		c := cluster.MustBuild(cfg)
+		// Zero compute: the job is in a hinted fine-grain region almost
+		// continuously, so every favored-window edge lands inside one and
+		// extensions are deterministic, not seed luck.
+		// Enough steps that the run spans several favored-window edges
+		// (which the 250ms tick grid quantizes to 500ms, 750ms, ...).
+		spec := BSPSpec{
+			Steps:             3000,
+			ComputeMean:       0,
+			AllreducesPerStep: 8,
+			FineGrainHints:    hints,
+		}
+		res, err := RunBSP(c, spec, 10*sim.Minute)
+		if err != nil || !res.Completed {
+			t.Fatalf("run failed: %v", err)
+		}
+		var ext sim.Time
+		for _, n := range c.Nodes {
+			ext += c.Sched.Extensions(n)
+		}
+		return ext
+	}
+	if got := run(false); got != 0 {
+		t.Fatalf("non-hinting job produced %v of extension", got)
+	}
+	if got := run(true); got == 0 {
+		t.Fatal("hinting job produced no extension — the control-pipe path is broken")
+	}
+}
+
+// TestBSPHintsBalanced verifies every Enter is matched by an Exit: at job
+// completion no node has residual fine-grain depth.
+func TestBSPHintsBalanced(t *testing.T) {
+	cfg := cluster.Prototype(2, 16, 13)
+	params := cosched.HintAwareParams()
+	cfg.Cosched = &params
+	c := cluster.MustBuild(cfg)
+	spec := BSPSpec{
+		Steps:             40,
+		ComputeMean:       5 * sim.Millisecond,
+		AllreducesPerStep: 2,
+		FineGrainHints:    true,
+	}
+	res, err := RunBSP(c, spec, 10*sim.Minute)
+	if err != nil || !res.Completed {
+		t.Fatalf("run failed: %v", err)
+	}
+	for _, n := range c.Nodes {
+		if d := c.Sched.FineGrainDepth(n); d != 0 {
+			t.Fatalf("node %d left fine-grain depth %d after the job", n.ID(), d)
+		}
+	}
+}
+
+// TestAggregateOnHardwareCollectives runs the benchmark over the offloaded
+// Allreduce path end to end through the cluster assembly.
+func TestAggregateOnHardwareCollectives(t *testing.T) {
+	cfg := cluster.Prototype(2, 16, 17)
+	cfg.MPI.HardwareCollectives = true
+	cfg.MPI.HWCollectiveLatency = 25 * sim.Microsecond
+	c := cluster.MustBuild(cfg)
+	res, err := RunAggregate(c, AggregateSpec{Loops: 1, CallsPerLoop: 200}, sim.Minute)
+	if err != nil || !res.Completed {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(res.TimesUS) != 200 {
+		t.Fatalf("timings = %d", len(res.TimesUS))
+	}
+	// Offloaded calls on a quiet prototype should be tight and fast.
+	for i, v := range res.TimesUS {
+		if v <= 0 || v > 5000 {
+			t.Fatalf("call %d took %vus — offload path broken", i, v)
+		}
+	}
+}

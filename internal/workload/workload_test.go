@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"testing"
+
+	"coschedsim/internal/cluster"
+	"coschedsim/internal/noise"
+	"coschedsim/internal/sim"
+	"coschedsim/internal/stats"
+	"coschedsim/internal/trace"
+)
+
+func TestAggregateSpecValidate(t *testing.T) {
+	if err := DefaultAggregateSpec().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := []AggregateSpec{
+		{},
+		{Loops: 1},
+		{Loops: 1, CallsPerLoop: 10, TraceEvery: -1},
+		{Loops: 1, CallsPerLoop: 10, Compute: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAggregateProducesTimings(t *testing.T) {
+	c := cluster.MustBuild(cluster.Vanilla(2, 16, 5))
+	tr := trace.NewBuffer(100000)
+	spec := AggregateSpec{Loops: 2, CallsPerLoop: 64, TraceEvery: 16, Tracer: tr}
+	res, err := RunAggregate(c, spec, sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("aggregate did not complete")
+	}
+	if len(res.TimesUS) != 128 {
+		t.Fatalf("timings = %d, want 128", len(res.TimesUS))
+	}
+	for i, v := range res.TimesUS {
+		if v <= 0 {
+			t.Fatalf("timing %d = %v, want positive", i, v)
+		}
+	}
+	marks := 0
+	for _, r := range tr.Records() {
+		if r.Mark != "" {
+			marks++
+		}
+	}
+	// 128 calls, every 16th begins+ends marked: 8 begins + 8 ends.
+	if marks != 16 {
+		t.Fatalf("trace marks = %d, want 16", marks)
+	}
+	if res.Wall <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+}
+
+func TestAggregateWithComputeIsSlower(t *testing.T) {
+	run := func(compute sim.Time) sim.Time {
+		c := cluster.MustBuild(cluster.Vanilla(1, 16, 5))
+		res, err := RunAggregate(c, AggregateSpec{Loops: 1, CallsPerLoop: 50, Compute: compute}, sim.Minute)
+		if err != nil || !res.Completed {
+			t.Fatalf("run failed: %v", err)
+		}
+		return res.Wall
+	}
+	plain := run(0)
+	padded := run(sim.Millisecond)
+	if padded < plain+40*sim.Millisecond {
+		t.Fatalf("compute padding not reflected: %v vs %v", plain, padded)
+	}
+}
+
+func TestBSPCollectiveShare(t *testing.T) {
+	c := cluster.MustBuild(cluster.Vanilla(2, 16, 5))
+	spec := BSPSpec{Steps: 30, ComputeMean: 2 * sim.Millisecond, ComputeJitter: 500 * sim.Microsecond, AllreducesPerStep: 2}
+	res, err := RunBSP(c, spec, sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.StepsCompleted != 30 {
+		t.Fatalf("bsp incomplete: %+v", res)
+	}
+	if res.CollectiveShare <= 0 || res.CollectiveShare >= 1 {
+		t.Fatalf("collective share = %v", res.CollectiveShare)
+	}
+}
+
+func TestBSPShareGrowsWithScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-size comparison")
+	}
+	share := func(nodes int) float64 {
+		c := cluster.MustBuild(cluster.Vanilla(nodes, 16, 7))
+		spec := BSPSpec{Steps: 20, ComputeMean: sim.Millisecond, ComputeJitter: 200 * sim.Microsecond, AllreducesPerStep: 1}
+		res, err := RunBSP(c, spec, sim.Minute)
+		if err != nil || !res.Completed {
+			t.Fatalf("bsp failed: %v %+v", err, res)
+		}
+		return res.CollectiveShare
+	}
+	small := share(1)
+	big := share(8)
+	if big <= small {
+		t.Fatalf("collective share did not grow with scale: %v (16p) vs %v (128p)", small, big)
+	}
+}
+
+func TestBSPValidation(t *testing.T) {
+	if err := (BSPSpec{}).Validate(); err == nil {
+		t.Error("zero BSP spec accepted")
+	}
+	if err := (BSPSpec{Steps: 1, ComputeMean: -1}).Validate(); err == nil {
+		t.Error("negative compute accepted")
+	}
+}
+
+// fastALE3D is a scaled-down spec for tests: 30 steps with a checkpoint
+// every 10, and per-node checkpoint volume (16 ranks x 4MB = 64MB) that
+// fills the GPFS writeback buffer, so drains must happen during the favored
+// compute phases.
+func fastALE3D() ALE3DSpec {
+	s := DefaultALE3DSpec()
+	s.Timesteps = 30
+	s.CheckpointEvery = 10
+	s.ComputeMean = 20 * sim.Millisecond
+	s.InitialReadBytes = 512 << 10
+	s.RestartWriteBytes = 8 << 20
+	s.WriteChunks = 8
+	s.ChunkFormatCPU = 5 * sim.Millisecond
+	return s
+}
+
+// shortPeriod shrinks the co-scheduler period so windows cycle within the
+// test's compressed run time.
+func shortPeriod(cfg cluster.Config) cluster.Config {
+	if cfg.Cosched != nil {
+		p := *cfg.Cosched
+		p.Period = 2 * sim.Second
+		cfg.Cosched = &p
+	}
+	return cfg
+}
+
+func TestALE3DRequiresGPFS(t *testing.T) {
+	c := cluster.MustBuild(cluster.Vanilla(1, 16, 5))
+	if _, err := RunALE3D(c, fastALE3D(), sim.Minute); err == nil {
+		t.Fatal("ALE3D without GPFS must error")
+	}
+}
+
+func TestALE3DValidation(t *testing.T) {
+	if err := DefaultALE3DSpec().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	s := DefaultALE3DSpec()
+	s.WriteChunks = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero chunks accepted")
+	}
+}
+
+// TestALE3DCoschedulerStory reproduces the paper's production sequence:
+// the naive co-scheduler (favored 30) *slows ALE3D down* relative to the
+// vanilla kernel because it starves I/O daemons; the tuned configuration
+// (favored 41, just above mmfsd) is the fastest of the three.
+func TestALE3DCoschedulerStory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full application runs")
+	}
+	run := func(cfg cluster.Config) ALE3DResult {
+		c := cluster.MustBuild(cfg)
+		res, err := RunALE3D(c, fastALE3D(), 10*sim.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("ALE3D incomplete under %+v", cfg.Cosched)
+		}
+		return res
+	}
+	const nodes, tpn, seed = 2, 16, 21
+	vanilla := run(cluster.ALE3DVanilla(nodes, tpn, seed))
+	naive := run(shortPeriod(cluster.ALE3DNaive(nodes, tpn, seed)))
+	tuned := run(shortPeriod(cluster.ALE3DTuned(nodes, tpn, seed)))
+
+	t.Logf("ALE3D wall: vanilla %v, naive cosched %v, tuned cosched %v", vanilla.Wall, naive.Wall, tuned.Wall)
+	if naive.Wall <= vanilla.Wall {
+		t.Errorf("naive co-scheduling (%v) should slow ALE3D below vanilla (%v) via I/O starvation", naive.Wall, vanilla.Wall)
+	}
+	if tuned.Wall >= naive.Wall {
+		t.Errorf("tuned co-scheduling (%v) should beat naive (%v)", tuned.Wall, naive.Wall)
+	}
+	// The paper's further claim — tuned beats vanilla by ~24% — rests on
+	// noise amplification at 944 processors; at this 32-rank test scale the
+	// vanilla noise penalty is small, so we only require tuned to be within
+	// noise of vanilla here. Experiment T3 checks the full ordering at scale.
+	if tuned.Wall > vanilla.Wall*13/10 {
+		t.Errorf("tuned co-scheduling (%v) should be near or below vanilla (%v)", tuned.Wall, vanilla.Wall)
+	}
+}
+
+// TestALE3DDetachEscapeHelps verifies the MPI attach/detach escape in
+// isolation (no daemon noise, so the only effect in play is whether mmfsd
+// can overlap the dump): detaching around I/O phases lets the drain proceed
+// during formatting compute, shortening the run. With full noise the escape
+// trades against daemon exposure — which is why the paper adopted the tuned
+// favored-41 priority for production instead.
+func TestALE3DDetachEscapeHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full application runs")
+	}
+	run := func(detach bool) ALE3DResult {
+		cfg := shortPeriod(cluster.ALE3DNaive(2, 16, 22))
+		cfg.Noise = noise.QuietConfig()
+		// A fully-threaded mmfsd: drain bandwidth is then limited by how
+		// many CPUs the scheduler concedes, which is exactly what detach
+		// changes.
+		g := *cfg.GPFS
+		g.Workers = 16
+		cfg.GPFS = &g
+		c := cluster.MustBuild(cfg)
+		spec := fastALE3D()
+		// Format-heavy dumps: the detach escape only has leverage when the
+		// I/O phase itself contains favored compute that would otherwise
+		// deny mmfsd the processors.
+		spec.ChunkFormatCPU = 20 * sim.Millisecond
+		spec.DetachForIO = detach
+		res, err := RunALE3D(c, spec, 10*sim.Minute)
+		if err != nil || !res.Completed {
+			t.Fatalf("run failed: %v %+v", err, res)
+		}
+		return res
+	}
+	without := run(false)
+	with := run(true)
+	t.Logf("quiet-noise ALE3D: wall %v / %d stalls with detach vs %v / %d stalls without",
+		with.Wall, with.IOStats.WriterStalls, without.Wall, without.IOStats.WriterStalls)
+	// The crisp mechanism signal: detached dumps keep mmfsd draining, so
+	// writers almost never hit a full buffer.
+	if without.IOStats.WriterStalls < 50 {
+		t.Fatalf("attached dumps produced only %d stalls — starvation scenario too weak", without.IOStats.WriterStalls)
+	}
+	if with.IOStats.WriterStalls*4 > without.IOStats.WriterStalls {
+		t.Fatalf("detach did not relieve writer stalls: %d with vs %d without",
+			with.IOStats.WriterStalls, without.IOStats.WriterStalls)
+	}
+	// Wall time is noisier (RR friction trades against the drain overlap);
+	// require detach not to cost more than ~15%.
+	if with.Wall > without.Wall*115/100 {
+		t.Fatalf("detach wall-time cost too high: %v with vs %v without", with.Wall, without.Wall)
+	}
+}
+
+func TestALE3DDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		c := cluster.MustBuild(cluster.ALE3DTuned(1, 16, 9))
+		res, err := RunALE3D(c, fastALE3D(), 10*sim.Minute)
+		if err != nil || !res.Completed {
+			t.Fatalf("run failed: %v", err)
+		}
+		return res.Wall
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("ALE3D not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestAggregateStatsSanity(t *testing.T) {
+	c := cluster.MustBuild(cluster.Prototype(2, 16, 13))
+	res, err := RunAggregate(c, AggregateSpec{Loops: 1, CallsPerLoop: 100}, sim.Minute)
+	if err != nil || !res.Completed {
+		t.Fatalf("run failed: %v", err)
+	}
+	s := stats.Summarize(res.TimesUS)
+	if s.Min <= 0 || s.Max < s.Min || s.Median < s.Min || s.Median > s.Max {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+}
