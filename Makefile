@@ -1,0 +1,25 @@
+# Tier-1 verification plus the race-checked gate the concurrent experiment
+# harness requires. `make check` is what a PR must keep green.
+
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The experiment harness fans simulation runs out across goroutines; every
+# change must pass the race detector, not just the plain test run.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+check: vet test race

@@ -6,7 +6,9 @@
 package coschedsim_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"coschedsim"
 )
@@ -173,8 +175,12 @@ func BenchmarkBaselineFairShare(b *testing.B) {
 
 // BenchmarkEngineThroughput measures raw simulator speed: events/second on
 // the 944-processor vanilla configuration (the paper's largest testbed
-// slice), so regressions in the core loop are visible.
+// slice), so regressions in the core loop are visible. Fired events are
+// accumulated across all iterations and divided by the total elapsed time
+// once after the loop — dividing a single iteration's count by an average
+// iteration time would misreport whenever iterations vary.
 func BenchmarkEngineThroughput(b *testing.B) {
+	var fired uint64
 	for i := 0; i < b.N; i++ {
 		c := coschedsim.MustBuild(coschedsim.Vanilla(8, 16, int64(i+1)))
 		res, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
@@ -183,6 +189,40 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		if err != nil || !res.Completed {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(c.Eng.Fired())/b.Elapsed().Seconds()/float64(b.N), "events/s")
+		fired += c.Eng.Fired()
 	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSweepParallel measures the wall-clock speedup of the parallel
+// experiment harness against strictly serial execution on a small fig3
+// sweep. The resulting tables are bit-identical (see the determinism
+// regression test in internal/experiment); only wall time changes, and
+// only on multi-core machines — at GOMAXPROCS=1 the speedup is ~1.0x.
+func BenchmarkSweepParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	r, ok := coschedsim.LookupExperiment("fig3")
+	if !ok {
+		b.Fatal("unknown experiment fig3")
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		opts := benchOptions()
+		opts.Seeds = 2
+		opts.BaseSeed = int64(1 + i)
+		opts.Parallelism = 1
+		t0 := time.Now()
+		if _, err := r.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+		opts.Parallelism = workers
+		t0 = time.Now()
+		if _, err := r.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(t0)
+	}
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
 }

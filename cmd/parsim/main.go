@@ -4,8 +4,11 @@
 // Usage:
 //
 //	parsim list
-//	parsim run <name>... [-full] [-nodes N] [-calls N] [-seeds N] [-seed N] [-csv] [-v]
+//	parsim run <name>... [-full] [-nodes N] [-calls N] [-seeds N] [-seed N] [-procs N] [-csv] [-v]
 //	parsim all [flags]
+//
+// Flags and experiment names may be interleaved in any order: `parsim run
+// -full fig3` and `parsim run fig3 -full` are equivalent.
 package main
 
 import (
@@ -20,7 +23,9 @@ import (
 
 func main() {
 	// Simulation runs allocate short-lived events and closures at a high
-	// rate with a small live set; a lazy GC buys ~15-20% wall time.
+	// rate with a small live set; a lazy GC buys ~15-20% wall time. With
+	// -procs > 1 the live set grows with the worker count, which this
+	// percentage-based target already scales for.
 	debug.SetGCPercent(800)
 	if len(os.Args) < 2 {
 		usage()
@@ -38,16 +43,11 @@ func main() {
 		calls := fs.Int("calls", 0, "override timed Allreduce calls per point")
 		seeds := fs.Int("seeds", 0, "override runs per data point")
 		seed := fs.Int64("seed", 1, "base RNG seed")
+		procs := fs.Int("procs", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 		csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose := fs.Bool("v", false, "print per-run progress")
-		var names []string
-		args := os.Args[2:]
-		// Collect leading non-flag arguments as experiment names.
-		for len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
-			names = append(names, args[0])
-			args = args[1:]
-		}
-		if err := fs.Parse(args); err != nil {
+		names, err := parseInterleaved(fs, os.Args[2:])
+		if err != nil {
 			os.Exit(2)
 		}
 		if os.Args[1] == "all" {
@@ -74,6 +74,11 @@ func main() {
 			opts.Seeds = *seeds
 		}
 		opts.BaseSeed = *seed
+		if *procs < 0 {
+			fmt.Fprintln(os.Stderr, "parsim: -procs must be >= 0")
+			os.Exit(2)
+		}
+		opts.Parallelism = *procs
 		if *verbose {
 			opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 		}
@@ -102,6 +107,28 @@ func main() {
 	}
 }
 
+// parseInterleaved parses flags and positional experiment names in any
+// order. The flag package stops at the first non-flag argument, so a
+// single fs.Parse would silently drop flags given after a name (`parsim
+// run fig3 -full` used to run a Quick fig3); instead we alternate: parse a
+// flag segment, collect names until the next dash-prefixed token, repeat
+// until everything is consumed. A bare "-" is collected as a name (and
+// rejected later by the experiment lookup) rather than looping forever.
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var names []string
+	for len(args) > 0 {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		args = fs.Args()
+		for len(args) > 0 && (len(args[0]) == 0 || args[0][0] != '-' || args[0] == "-") {
+			names = append(names, args[0])
+			args = args[1:]
+		}
+	}
+	return names, nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `parsim — reproduction harness for "Improving the Scalability of Parallel
 Jobs by adding Parallel Awareness to the Operating System" (SC'03)
@@ -111,12 +138,14 @@ usage:
   parsim run <name>... [flags]     run selected experiments
   parsim all [flags]               run everything
 
-flags for run/all:
+flags for run/all (may precede or follow experiment names):
   -full        paper-size runs (59+ nodes)
   -nodes N     override max node count
   -calls N     override Allreduce calls per point
   -seeds N     override seeds per point
   -seed N      base RNG seed
+  -procs N     concurrent simulation runs (0 = all cores, 1 = serial;
+               tables are bit-identical at any setting)
   -csv         CSV output
   -v           progress on stderr`)
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+func newTestFlagSet() (*flag.FlagSet, *bool, *int) {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	full := fs.Bool("full", false, "")
+	seeds := fs.Int("seeds", 0, "")
+	return fs, full, seeds
+}
+
+func TestParseInterleaved(t *testing.T) {
+	for _, tc := range []struct {
+		args      []string
+		names     []string
+		full      bool
+		seeds     int
+	}{
+		{[]string{"fig3"}, []string{"fig3"}, false, 0},
+		{[]string{"fig3", "-full"}, []string{"fig3"}, true, 0},
+		{[]string{"-full", "fig3"}, []string{"fig3"}, true, 0},
+		{[]string{"fig3", "-seeds", "3", "t2"}, []string{"fig3", "t2"}, false, 3},
+		{[]string{"-full", "fig3", "-seeds", "5", "t2", "t3"}, []string{"fig3", "t2", "t3"}, true, 5},
+		{[]string{"-full", "-seeds=2"}, nil, true, 2},
+		{[]string{}, nil, false, 0},
+		{[]string{"-"}, []string{"-"}, false, 0},
+	} {
+		fs, full, seeds := newTestFlagSet()
+		names, err := parseInterleaved(fs, tc.args)
+		if err != nil {
+			t.Fatalf("args %v: %v", tc.args, err)
+		}
+		if !reflect.DeepEqual(names, tc.names) {
+			t.Errorf("args %v: names = %v, want %v", tc.args, names, tc.names)
+		}
+		if *full != tc.full || *seeds != tc.seeds {
+			t.Errorf("args %v: full=%v seeds=%d, want full=%v seeds=%d",
+				tc.args, *full, *seeds, tc.full, tc.seeds)
+		}
+	}
+}
+
+func TestParseInterleavedBadFlag(t *testing.T) {
+	fs, _, _ := newTestFlagSet()
+	if _, err := parseInterleaved(fs, []string{"fig3", "-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

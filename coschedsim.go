@@ -36,6 +36,10 @@
 //	}, coschedsim.Hour)
 //
 // Everything is deterministic: the same seed reproduces a run bit-for-bit.
+// Experiment sweeps execute their independent runs on a work pool spanning
+// all cores (ExperimentOptions.Parallelism; 1 = serial) and remain
+// bit-identical at any worker count, because run seeds derive from the
+// sweep coordinates rather than execution order.
 package coschedsim
 
 import (

@@ -196,7 +196,14 @@ func (s *Scheduler) shadowTime(needed int) sim.Time {
 		}
 		ends = append(ends, end{est, len(r.nodes)})
 	}
-	sort.Slice(ends, func(i, j int) bool { return ends[i].at < ends[j].at })
+	// Break equal-finish-time ties by node count so the estimate does not
+	// depend on s.active's map iteration order.
+	sort.Slice(ends, func(i, j int) bool {
+		if ends[i].at != ends[j].at {
+			return ends[i].at < ends[j].at
+		}
+		return ends[i].nodes < ends[j].nodes
+	})
 	avail := len(s.free)
 	for _, e := range ends {
 		if avail >= needed {

@@ -2,6 +2,7 @@ package cosched
 
 import (
 	"fmt"
+	"sort"
 
 	"coschedsim/internal/kernel"
 	"coschedsim/internal/network"
@@ -207,15 +208,23 @@ func (ns *nodeSched) maybeExit() bool {
 }
 
 // setFavored flips the window state and applies it to every attached
-// process.
+// process, in ascending process-ID order. The order matters: equal-priority
+// threads dispatch in requeue order, so iterating the procs map directly
+// would leak Go's randomized map order into the simulation and break
+// same-seed reproducibility.
 func (ns *nodeSched) setFavored(fav bool) {
 	ns.inFavored = fav
 	if ns.sched.recordTrans {
 		ns.sched.transitions = append(ns.sched.transitions,
 			Transition{Time: ns.node.Engine().Now(), Node: ns.node.ID(), Favored: fav})
 	}
-	for _, e := range ns.procs {
-		ns.applyTo(e)
+	ids := make([]int, 0, len(ns.procs))
+	for id := range ns.procs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ns.applyTo(ns.procs[id])
 	}
 }
 

@@ -5,8 +5,8 @@ import (
 
 	"coschedsim/internal/cluster"
 	"coschedsim/internal/cosched"
+	"coschedsim/internal/parallel"
 	"coschedsim/internal/sim"
-	"coschedsim/internal/stats"
 	"coschedsim/internal/workload"
 )
 
@@ -20,29 +20,6 @@ func ablationNodes(o Options) int {
 		n = 2
 	}
 	return n
-}
-
-// runMean builds the config, runs the aggregate benchmark once per seed and
-// returns the grand mean and mean stddev of per-call times.
-func runMean(o Options, cfg func(seed int64) cluster.Config) (mean, stddev float64, err error) {
-	var means, sds []float64
-	for s := 0; s < o.Seeds; s++ {
-		c, err := cluster.Build(cfg(o.BaseSeed + int64(s)))
-		if err != nil {
-			return 0, 0, err
-		}
-		res, err := workload.RunAggregate(c, workload.AggregateSpec{Loops: 1, CallsPerLoop: o.callsFor(c.Procs()), Compute: o.ComputeGrain}, 30*sim.Minute)
-		if err != nil {
-			return 0, 0, err
-		}
-		if !res.Completed {
-			return 0, 0, fmt.Errorf("experiment: ablation run did not complete")
-		}
-		sum := stats.Summarize(res.TimesUS)
-		means = append(means, sum.Mean)
-		sds = append(sds, sum.Stddev)
-	}
-	return stats.Summarize(means).Mean, stats.Summarize(sds).Mean, nil
 }
 
 // AblationBigTick sweeps the big-tick multiplier on the otherwise-complete
@@ -59,18 +36,23 @@ func AblationBigTick(o Options) (*Table, error) {
 			{Name: "bigtick"}, {Name: "tick", Unit: "ms"}, {Name: "mean", Unit: "us"}, {Name: "stddev", Unit: "us"},
 		},
 	}
-	for _, bt := range []int{1, 5, 10, 25, 50, 100} {
+	bigTicks := []int{1, 5, 10, 25, 50, 100}
+	variants := make([]variantSpec, 0, len(bigTicks))
+	for _, bt := range bigTicks {
 		bt := bt
-		mean, sd, err := runMean(o, func(seed int64) cluster.Config {
+		variants = append(variants, variantSpec{fmt.Sprintf("bt=%d", bt), func(seed int64) cluster.Config {
 			cfg := cluster.Prototype(nodes, 16, seed)
 			cfg.Kernel.BigTick = bt
 			return cfg
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("", float64(bt), float64(bt)*10, mean, sd)
-		o.progress("abl-bigtick bt=%d mean=%.1fus", bt, mean)
+		}})
+	}
+	ms, err := runVariantMeans(o, "abl-bigtick", nodes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, bt := range bigTicks {
+		t.AddRow("", float64(bt), float64(bt)*10, ms[i].mean, ms[i].stddev)
+		o.progress("abl-bigtick bt=%d mean=%.1fus", bt, ms[i].mean)
 	}
 	t.AddNote("paper: 'we generally chose a big tick constant value of 25' (250ms)")
 	return t, nil
@@ -90,23 +72,35 @@ func AblationDutyCycle(o Options) (*Table, error) {
 			{Name: "period", Unit: "s"}, {Name: "duty", Unit: "%"}, {Name: "mean", Unit: "us"}, {Name: "stddev", Unit: "us"},
 		},
 	}
+	type geom struct {
+		period sim.Time
+		duty   float64
+	}
+	var geoms []geom
+	var variants []variantSpec
 	for _, period := range []sim.Time{1 * sim.Second, 5 * sim.Second, 10 * sim.Second} {
 		for _, duty := range []float64{0.5, 0.8, 0.9, 0.95} {
 			period, duty := period, duty
-			mean, sd, err := runMean(o, func(seed int64) cluster.Config {
-				cfg := cluster.Prototype(nodes, 16, seed)
-				params := cosched.DefaultParams()
-				params.Period = period
-				params.Duty = duty
-				cfg.Cosched = &params
-				return cfg
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow("", period.Seconds(), duty*100, mean, sd)
-			o.progress("abl-duty period=%v duty=%.0f%% mean=%.1fus", period, duty*100, mean)
+			geoms = append(geoms, geom{period, duty})
+			variants = append(variants, variantSpec{
+				fmt.Sprintf("period=%v duty=%.0f%%", period, duty*100),
+				func(seed int64) cluster.Config {
+					cfg := cluster.Prototype(nodes, 16, seed)
+					params := cosched.DefaultParams()
+					params.Period = period
+					params.Duty = duty
+					cfg.Cosched = &params
+					return cfg
+				}})
 		}
+	}
+	ms, err := runVariantMeans(o, "abl-duty", nodes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range geoms {
+		t.AddRow("", g.period.Seconds(), g.duty*100, ms[i].mean, ms[i].stddev)
+		o.progress("abl-duty period=%v duty=%.0f%% mean=%.1fus", g.period, g.duty*100, ms[i].mean)
 	}
 	t.AddNote("paper: ~10s period at 90-95%% duty works well; 100%% duty can require a reboot (refused by Params.Validate)")
 	return t, nil
@@ -131,25 +125,30 @@ func AblationIPI(o Options) (*Table, error) {
 		tag                string
 		rt, reverse, multi bool
 	}
-	for _, v := range []variant{
+	vs := []variant{
 		{"lazy (tick-notice only)", false, false, false},
 		{"rt-ipi", true, false, false},
 		{"rt-ipi+reverse", true, true, false},
 		{"rt-ipi+reverse+multi", true, true, true},
-	} {
+	}
+	variants := make([]variantSpec, 0, len(vs))
+	for _, v := range vs {
 		v := v
-		mean, sd, err := runMean(o, func(seed int64) cluster.Config {
+		variants = append(variants, variantSpec{v.tag, func(seed int64) cluster.Config {
 			cfg := cluster.Prototype(nodes, 16, seed)
 			cfg.Kernel.RealTimeIPI = v.rt
 			cfg.Kernel.ReversePreemptIPI = v.reverse
 			cfg.Kernel.MultiIPI = v.multi
 			return cfg
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(v.tag, mean, sd)
-		o.progress("abl-ipi %s mean=%.1fus", v.tag, mean)
+		}})
+	}
+	ms, err := runVariantMeans(o, "abl-ipi", nodes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vs {
+		t.AddRow(v.tag, ms[i].mean, ms[i].stddev)
+		o.progress("abl-ipi %s mean=%.1fus", v.tag, ms[i].mean)
 	}
 	t.AddNote("paper: rapid pre-emptions and reverse pre-emptions across processors are 'a major building block' of the approach")
 	return t, nil
@@ -170,22 +169,27 @@ func AblationClockSync(o Options) (*Table, error) {
 			{Name: "skew", Unit: "ms"}, {Name: "mean", Unit: "us"}, {Name: "stddev", Unit: "us"},
 		},
 	}
-	for _, skew := range []sim.Time{0, 100 * sim.Millisecond, 500 * sim.Millisecond,
-		1500 * sim.Millisecond, 3 * sim.Second} {
+	skews := []sim.Time{0, 100 * sim.Millisecond, 500 * sim.Millisecond,
+		1500 * sim.Millisecond, 3 * sim.Second}
+	variants := make([]variantSpec, 0, len(skews))
+	for _, skew := range skews {
 		skew := skew
-		mean, sd, err := runMean(o, func(seed int64) cluster.Config {
+		variants = append(variants, variantSpec{fmt.Sprintf("skew=%v", skew), func(seed int64) cluster.Config {
 			cfg := cluster.Prototype(nodes, 16, seed)
 			if skew > 0 {
 				cfg.SyncClocks = false
 				cfg.ClockSkew = skew
 			}
 			return cfg
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("", skew.Millis(), mean, sd)
-		o.progress("abl-clock skew=%v mean=%.1fus", skew, mean)
+		}})
+	}
+	ms, err := runVariantMeans(o, "abl-clock", nodes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, skew := range skews {
+		t.AddRow("", skew.Millis(), ms[i].mean, ms[i].stddev)
+		o.progress("abl-clock skew=%v mean=%.1fus", skew, ms[i].mean)
 	}
 	t.AddNote("paper: the switch clock lets all favored windows align cluster-wide with no inter-node communication")
 	return t, nil
@@ -205,7 +209,7 @@ func AblationTickAlignment(o Options) (*Table, error) {
 			{Name: "mean", Unit: "us"}, {Name: "stddev", Unit: "us"},
 		},
 	}
-	for _, v := range []struct {
+	vs := []struct {
 		tag     string
 		aligned bool
 		bigTick int
@@ -214,19 +218,24 @@ func AblationTickAlignment(o Options) (*Table, error) {
 		{"aligned-10ms", true, 1},
 		{"staggered-250ms", false, 25},
 		{"aligned-250ms", true, 25},
-	} {
+	}
+	variants := make([]variantSpec, 0, len(vs))
+	for _, v := range vs {
 		v := v
-		mean, sd, err := runMean(o, func(seed int64) cluster.Config {
+		variants = append(variants, variantSpec{v.tag, func(seed int64) cluster.Config {
 			cfg := cluster.Prototype(nodes, 16, seed)
 			cfg.Kernel.AlignTicks = v.aligned
 			cfg.Kernel.BigTick = v.bigTick
 			return cfg
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(v.tag, mean, sd)
-		o.progress("abl-ticks %s mean=%.1fus", v.tag, mean)
+		}})
+	}
+	ms, err := runVariantMeans(o, "abl-ticks", nodes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vs {
+		t.AddRow(v.tag, ms[i].mean, ms[i].stddev)
+		o.progress("abl-ticks %s mean=%.1fus", v.tag, ms[i].mean)
 	}
 	t.AddNote("paper §3.2.1: simultaneous ticks trade a little lock efficiency for overlap of the tick handling")
 	return t, nil
@@ -249,47 +258,61 @@ func AblationFineGrainHints(o Options) (*Table, error) {
 			{Name: "steps/s"}, {Name: "coll-share", Unit: "%"}, {Name: "extension", Unit: "ms"},
 		},
 	}
-	run := func(tag string, hints bool) error {
-		cfg := cluster.Prototype(nodes, 16, o.BaseSeed)
+	scens := []struct {
+		tag   string
+		hints bool
+	}{
+		{"no-hints", false},
+		{"hints", true},
+	}
+	type hintOut struct {
+		stepsPerSec float64
+		collShare   float64
+		extension   sim.Time
+	}
+	op := o.withSafeProgress()
+	outs, err := parallel.Map(op.workers(), len(scens), func(i int) (hintOut, error) {
+		sc := scens[i]
+		cfg := cluster.Prototype(nodes, 16, op.BaseSeed)
 		params := cosched.HintAwareParams()
 		params.Period = sim.Second
 		params.Duty = 0.80
 		params.MaxFineGrainExtension = 100 * sim.Millisecond
-		if !hints {
+		if !sc.hints {
 			params.MaxFineGrainExtension = 0
 		}
 		cfg.Cosched = &params
 		c, err := cluster.Build(cfg)
 		if err != nil {
-			return err
+			return hintOut{}, err
 		}
 		spec := workload.BSPSpec{
 			Steps:             400,
 			ComputeMean:       20 * sim.Millisecond,
 			ComputeJitter:     2 * sim.Millisecond,
 			AllreducesPerStep: 4,
-			FineGrainHints:    hints,
+			FineGrainHints:    sc.hints,
 		}
 		res, err := workload.RunBSP(c, spec, 30*sim.Minute)
 		if err != nil {
-			return err
+			return hintOut{}, err
 		}
 		if !res.Completed {
-			return fmt.Errorf("experiment abl-hints: %s run did not complete", tag)
+			return hintOut{}, fmt.Errorf("experiment abl-hints: %s run did not complete", sc.tag)
 		}
 		var ext sim.Time
 		for _, n := range c.Nodes {
 			ext += c.Sched.Extensions(n)
 		}
-		t.AddRow(tag, float64(spec.Steps)/res.Wall.Seconds(), res.CollectiveShare*100, ext.Millis())
-		o.progress("abl-hints %s: %.1f steps/s ext=%v", tag, float64(spec.Steps)/res.Wall.Seconds(), ext)
-		return nil
-	}
-	if err := run("no-hints", false); err != nil {
+		steps := float64(spec.Steps) / res.Wall.Seconds()
+		op.progress("abl-hints %s: %.1f steps/s ext=%v", sc.tag, steps, ext)
+		return hintOut{stepsPerSec: steps, collShare: res.CollectiveShare, extension: ext}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run("hints", true); err != nil {
-		return nil, err
+	for i, sc := range scens {
+		t.AddRow(sc.tag, outs[i].stepsPerSec, outs[i].collShare*100, outs[i].extension.Millis())
 	}
 	t.AddNote("paper §7: 'providing a mechanism for parallel applications to establish when they are entering and exiting fine-grain regions may be beneficial'")
 	return t, nil
@@ -312,7 +335,7 @@ func AblationHardwareCollectives(o Options) (*Table, error) {
 			{Name: "mean", Unit: "us"}, {Name: "stddev", Unit: "us"},
 		},
 	}
-	for _, v := range []struct {
+	vs := []struct {
 		tag       string
 		prototype bool
 		hw        bool
@@ -321,9 +344,11 @@ func AblationHardwareCollectives(o Options) (*Table, error) {
 		{"vanilla-hwcoll", false, true},
 		{"prototype-swtree", true, false},
 		{"prototype-hwcoll", true, true},
-	} {
+	}
+	variants := make([]variantSpec, 0, len(vs))
+	for _, v := range vs {
 		v := v
-		mean, sd, err := runMean(o, func(seed int64) cluster.Config {
+		variants = append(variants, variantSpec{v.tag, func(seed int64) cluster.Config {
 			cfg := cluster.Vanilla(nodes, 16, seed)
 			if v.prototype {
 				cfg = cluster.Prototype(nodes, 16, seed)
@@ -333,12 +358,15 @@ func AblationHardwareCollectives(o Options) (*Table, error) {
 				cfg.MPI.HWCollectiveLatency = 25 * sim.Microsecond
 			}
 			return cfg
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(v.tag, mean, sd)
-		o.progress("abl-hwcoll %s mean=%.1fus", v.tag, mean)
+		}})
+	}
+	ms, err := runVariantMeans(o, "abl-hwcoll", nodes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vs {
+		t.AddRow(v.tag, ms[i].mean, ms[i].stddev)
+		o.progress("abl-hwcoll %s mean=%.1fus", v.tag, ms[i].mean)
 	}
 	t.AddNote("paper §7: combining parallel-aware scheduling with hardware assisted collectives is named as a promising direction")
 	return t, nil
@@ -362,10 +390,7 @@ func AblationGangScheduler(o Options) (*Table, error) {
 			{Name: "mean", Unit: "us"}, {Name: "stddev", Unit: "us"},
 		},
 	}
-	for _, v := range []struct {
-		tag string
-		cfg func(seed int64) cluster.Config
-	}{
+	variants := []variantSpec{
 		{"vanilla", func(seed int64) cluster.Config {
 			return cluster.Vanilla(nodes, 16, seed)
 		}},
@@ -379,14 +404,14 @@ func AblationGangScheduler(o Options) (*Table, error) {
 		{"dedicated-cosched", func(seed int64) cluster.Config {
 			return cluster.Prototype(nodes, 16, seed)
 		}},
-	} {
-		v := v
-		mean, sd, err := runMean(o, v.cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(v.tag, mean, sd)
-		o.progress("abl-gang %s mean=%.1fus", v.tag, mean)
+	}
+	ms, err := runVariantMeans(o, "abl-gang", nodes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		t.AddRow(v.tag, ms[i].mean, ms[i].stddev)
+		o.progress("abl-gang %s mean=%.1fus", v.tag, ms[i].mean)
 	}
 	t.AddNote("paper §6: 'Due to their time quanta, the Gang-schedulers of category 1 are not able to address context switch interference'")
 	return t, nil
@@ -410,24 +435,29 @@ func AblationFairShare(o Options) (*Table, error) {
 			{Name: "mean", Unit: "us"}, {Name: "stddev", Unit: "us"},
 		},
 	}
-	for _, v := range []struct {
+	vs := []struct {
 		tag   string
 		decay bool
 	}{
 		{"static-priorities", false},
 		{"fair-share-decay", true},
-	} {
+	}
+	variants := make([]variantSpec, 0, len(vs))
+	for _, v := range vs {
 		v := v
-		mean, sd, err := runMean(o, func(seed int64) cluster.Config {
+		variants = append(variants, variantSpec{v.tag, func(seed int64) cluster.Config {
 			cfg := cluster.Vanilla(nodes, 16, seed)
 			cfg.Kernel.UsageDecay = v.decay
 			return cfg
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(v.tag, mean, sd)
-		o.progress("abl-fairshare %s mean=%.1fus", v.tag, mean)
+		}})
+	}
+	ms, err := runVariantMeans(o, "abl-fairshare", nodes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vs {
+		t.AddRow(v.tag, ms[i].mean, ms[i].stddev)
+		o.progress("abl-fairshare %s mean=%.1fus", v.tag, ms[i].mean)
 	}
 	t.AddNote("paper §6: fair-share co-schedulers 'seek to optimize the overall efficiency of the machine' — a different goal from dedicated-job turnaround; decay leaves collective interference in place")
 	return t, nil

@@ -7,7 +7,6 @@ import (
 	"coschedsim/internal/cluster"
 	"coschedsim/internal/sim"
 	"coschedsim/internal/stats"
-	"coschedsim/internal/workload"
 )
 
 // Options scales an experiment run. The defaults (via Full or Quick) trade
@@ -37,7 +36,17 @@ type Options struct {
 	Window sim.Time
 	// BaseSeed roots the deterministic RNG.
 	BaseSeed int64
-	// Progress, when non-nil, receives one line per completed run.
+	// Parallelism is the number of worker goroutines executing a sweep's
+	// independent runs concurrently. 0 means runtime.GOMAXPROCS(0); 1
+	// restores strictly serial execution. Every run's seed is derived
+	// from (BaseSeed, nodes, seed index) and results are assembled in
+	// enumeration order, so tables, fits and notes are bit-identical at
+	// any parallelism.
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed run. Under
+	// parallelism > 1 the callback is invoked from worker goroutines but
+	// never concurrently (calls are serialized); line order across runs
+	// is not deterministic, line content is.
 	Progress func(string)
 }
 
@@ -57,6 +66,9 @@ func Quick() Options {
 func (o Options) validate() error {
 	if o.MaxNodes <= 0 || o.Calls <= 0 || o.Seeds <= 0 {
 		return fmt.Errorf("experiment: MaxNodes, Calls and Seeds must be positive")
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("experiment: Parallelism must be >= 0 (0 = GOMAXPROCS)")
 	}
 	return nil
 }
@@ -158,41 +170,39 @@ type pointStats struct {
 }
 
 // measureScaling runs the aggregate benchmark across the node sweep for a
-// config family and aggregates per-point statistics.
+// config family and aggregates per-point statistics. Every (nodes, seed)
+// run is enumerated up front and executed on the work pool; per-point
+// aggregation happens in enumeration order, so results are bit-identical
+// to serial execution at any Parallelism.
 func measureScaling(o Options, label string, cfgFor func(nodes int, seed int64) cluster.Config) ([]pointStats, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	var out []pointStats
-	for _, nodes := range nodeSweep(o.MaxNodes) {
-		var seedMeans, stddevs []float64
-		procs := 0
+	sweep := nodeSweep(o.MaxNodes)
+	jobs := make([]runDesc, 0, len(sweep)*o.Seeds)
+	for _, nodes := range sweep {
 		for s := 0; s < o.Seeds; s++ {
 			seed := o.BaseSeed + int64(1000*nodes) + int64(s)
-			cfg := cfgFor(nodes, seed)
-			c, err := cluster.Build(cfg)
-			if err != nil {
-				return nil, err
-			}
-			procs = c.Procs()
-			res, err := workload.RunAggregate(c, workload.AggregateSpec{
-				Loops: 1, CallsPerLoop: o.callsFor(procs), Compute: o.ComputeGrain,
-			}, 30*sim.Minute)
-			if err != nil {
-				return nil, err
-			}
-			if !res.Completed {
-				return nil, fmt.Errorf("experiment %s: %d-node run did not complete", label, nodes)
-			}
-			sum := stats.Summarize(res.TimesUS)
-			seedMeans = append(seedMeans, sum.Mean)
-			stddevs = append(stddevs, sum.Stddev)
-			o.progress("%s nodes=%d procs=%d seed=%d mean=%.1fus stddev=%.1fus",
-				label, nodes, procs, s, sum.Mean, sum.Stddev)
+			jobs = append(jobs, runDesc{
+				Label: label, Nodes: nodes, SeedIdx: s, Seed: seed, Cfg: cfgFor(nodes, seed),
+			})
+		}
+	}
+	outs, err := runAggregateJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]pointStats, 0, len(sweep))
+	for p := range sweep {
+		group := outs[p*o.Seeds : (p+1)*o.Seeds]
+		var seedMeans, stddevs []float64
+		for _, r := range group {
+			seedMeans = append(seedMeans, r.mean)
+			stddevs = append(stddevs, r.stddev)
 		}
 		ms := stats.Summarize(seedMeans)
 		out = append(out, pointStats{
-			procs:  procs,
+			procs:  group[0].procs,
 			mean:   ms.Mean,
 			stddev: stats.Summarize(stddevs).Mean,
 			min:    ms.Min,

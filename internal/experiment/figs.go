@@ -6,6 +6,7 @@ import (
 
 	"coschedsim/internal/cluster"
 	"coschedsim/internal/kernel"
+	"coschedsim/internal/parallel"
 	"coschedsim/internal/sim"
 	"coschedsim/internal/stats"
 	"coschedsim/internal/trace"
@@ -29,13 +30,25 @@ func Fig1NoiseOverlap(o Options) (*Table, error) {
 			{Name: "allcpu-app", Unit: "%"}, {Name: "steps/s"}, {Name: "noise", Unit: "% per cpu"},
 		},
 	}
-	run := func(tag string, cfg cluster.Config) error {
+	scens := []struct {
+		tag string
+		cfg cluster.Config
+	}{
+		{"random", cluster.Vanilla(1, 8, o.BaseSeed)},
+		{"co-scheduled", cluster.Prototype(1, 8, o.BaseSeed)},
+	}
+	type fig1Out struct {
+		green, stepsPerSec, noisePct float64
+	}
+	op := o.withSafeProgress()
+	outs, err := parallel.Map(op.workers(), len(scens), func(i int) (fig1Out, error) {
+		cfg := scens[i].cfg
 		cfg.CPUsPerNode = 8
 		cfg.TasksPerNode = 8
 		cfg.Kernel.NumCPUs = 8
 		c, err := cluster.Build(cfg)
 		if err != nil {
-			return err
+			return fig1Out{}, err
 		}
 		buf := trace.NewBuffer(4 << 20)
 		buf.SkipTicks(true)
@@ -48,22 +61,25 @@ func Fig1NoiseOverlap(o Options) (*Table, error) {
 		}
 		res, err := workload.RunBSP(c, spec, 30*sim.Minute)
 		if err != nil {
-			return err
+			return fig1Out{}, err
 		}
 		if !res.Completed {
-			return fmt.Errorf("experiment fig1: %s run did not complete", tag)
+			return fig1Out{}, fmt.Errorf("experiment fig1: %s run did not complete", scens[i].tag)
 		}
 		green := appOverlapFraction(buf.Records(), 0, 8, 0, res.Wall, "rank")
 		noise := c.Noise[0].Measure(res.Wall)
-		t.AddRow(tag, green*100, float64(spec.Steps)/res.Wall.Seconds(), noise.PerCPUFraction*100)
-		o.progress("fig1 %s: green=%.1f%% wall=%v", tag, green*100, res.Wall)
-		return nil
-	}
-	if err := run("random", cluster.Vanilla(1, 8, o.BaseSeed)); err != nil {
+		op.progress("fig1 %s: green=%.1f%% wall=%v", scens[i].tag, green*100, res.Wall)
+		return fig1Out{
+			green:       green * 100,
+			stepsPerSec: float64(spec.Steps) / res.Wall.Seconds(),
+			noisePct:    noise.PerCPUFraction * 100,
+		}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run("co-scheduled", cluster.Prototype(1, 8, o.BaseSeed)); err != nil {
-		return nil, err
+	for i, sc := range scens {
+		t.AddRow(sc.tag, outs[i].green, outs[i].stepsPerSec, outs[i].noisePct)
 	}
 	t.AddNote("paper (Fig.1, qualitative): overlapping the same amount of system activity enlarges the periods during which the whole job can progress")
 	return t, nil

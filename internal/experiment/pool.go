@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"coschedsim/internal/cluster"
+	"coschedsim/internal/parallel"
+	"coschedsim/internal/sim"
+	"coschedsim/internal/stats"
+	"coschedsim/internal/workload"
+)
+
+// runDesc describes one independent simulation run of a sweep. Sweeps
+// enumerate every run up front as descriptors so the work pool can execute
+// them in any order while results are assembled in descriptor order —
+// seeds are already derived from (BaseSeed, nodes, seed index), so
+// ordering is the only hazard to determinism.
+type runDesc struct {
+	Label   string
+	Nodes   int
+	SeedIdx int
+	Seed    int64
+	Cfg     cluster.Config
+}
+
+// runOut is the aggregate-benchmark outcome of one runDesc.
+type runOut struct {
+	procs  int
+	mean   float64
+	stddev float64
+}
+
+// workers resolves the worker count for this run (Parallelism, or
+// GOMAXPROCS when unset).
+func (o Options) workers() int { return parallel.Workers(o.Parallelism) }
+
+// withSafeProgress returns a copy of o whose Progress callback is
+// serialized behind a mutex so pool workers may report concurrently.
+// Every line carries its run's label/nodes/seed tags, so interleaved
+// output remains attributable to a run.
+func (o Options) withSafeProgress() Options {
+	if o.Progress == nil {
+		return o
+	}
+	var mu sync.Mutex
+	inner := o.Progress
+	o.Progress = func(line string) {
+		mu.Lock()
+		defer mu.Unlock()
+		inner(line)
+	}
+	return o
+}
+
+// runAggregateJobs executes the paper's aggregate benchmark once per
+// descriptor on o.workers() workers. out[i] corresponds to jobs[i] no
+// matter which worker ran it, so aggregations over the result slice are
+// bit-identical to a serial loop; the first failing job (lowest index)
+// cancels the remaining ones.
+func runAggregateJobs(o Options, jobs []runDesc) ([]runOut, error) {
+	o = o.withSafeProgress()
+	return parallel.Map(o.workers(), len(jobs), func(i int) (runOut, error) {
+		j := jobs[i]
+		c, err := cluster.Build(j.Cfg)
+		if err != nil {
+			return runOut{}, err
+		}
+		res, err := workload.RunAggregate(c, workload.AggregateSpec{
+			Loops: 1, CallsPerLoop: o.callsFor(c.Procs()), Compute: o.ComputeGrain,
+		}, 30*sim.Minute)
+		if err != nil {
+			return runOut{}, err
+		}
+		if !res.Completed {
+			return runOut{}, fmt.Errorf("experiment %s: %d-node run did not complete", j.Label, j.Nodes)
+		}
+		sum := stats.Summarize(res.TimesUS)
+		o.progress("%s nodes=%d procs=%d seed=%d mean=%.1fus stddev=%.1fus",
+			j.Label, j.Nodes, c.Procs(), j.SeedIdx, sum.Mean, sum.Stddev)
+		return runOut{procs: c.Procs(), mean: sum.Mean, stddev: sum.Stddev}, nil
+	})
+}
+
+// variantSpec names one configuration of a design-choice sweep.
+type variantSpec struct {
+	tag string
+	cfg func(seed int64) cluster.Config
+}
+
+// meanSD is one variant's aggregate over seeds.
+type meanSD struct {
+	mean   float64
+	stddev float64
+}
+
+// runVariantMeans runs every (variant, seed) combination of a sweep
+// through the work pool and aggregates per variant in declaration order:
+// the grand mean of per-run means and the mean of per-run stddevs, exactly
+// as the serial per-variant loop did.
+func runVariantMeans(o Options, label string, nodes int, variants []variantSpec) ([]meanSD, error) {
+	jobs := make([]runDesc, 0, len(variants)*o.Seeds)
+	for _, v := range variants {
+		for s := 0; s < o.Seeds; s++ {
+			seed := o.BaseSeed + int64(s)
+			jobs = append(jobs, runDesc{
+				Label: label + "/" + v.tag, Nodes: nodes, SeedIdx: s, Seed: seed, Cfg: v.cfg(seed),
+			})
+		}
+	}
+	outs, err := runAggregateJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]meanSD, len(variants))
+	for vi := range variants {
+		group := outs[vi*o.Seeds : (vi+1)*o.Seeds]
+		var means, sds []float64
+		for _, r := range group {
+			means = append(means, r.mean)
+			sds = append(sds, r.stddev)
+		}
+		res[vi] = meanSD{mean: stats.Summarize(means).Mean, stddev: stats.Summarize(sds).Mean}
+	}
+	return res, nil
+}

@@ -6,6 +6,7 @@ import (
 	"coschedsim/internal/cluster"
 	"coschedsim/internal/mpi"
 	"coschedsim/internal/noise"
+	"coschedsim/internal/parallel"
 	"coschedsim/internal/sim"
 	"coschedsim/internal/stats"
 	"coschedsim/internal/workload"
@@ -63,28 +64,15 @@ func T2PopulatedSpeedup(o Options) (*Table, error) {
 	if nodes > 100 {
 		nodes = 100
 	}
-	measure := func(cfg cluster.Config) (int, stats.Summary, error) {
-		c, err := cluster.Build(cfg)
-		if err != nil {
-			return 0, stats.Summary{}, err
-		}
-		res, err := workload.RunAggregate(c, workload.AggregateSpec{Loops: 1, CallsPerLoop: o.callsFor(c.Procs()), Compute: o.ComputeGrain}, 30*sim.Minute)
-		if err != nil {
-			return 0, stats.Summary{}, err
-		}
-		if !res.Completed {
-			return 0, stats.Summary{}, fmt.Errorf("experiment t2: run did not complete")
-		}
-		return c.Procs(), stats.Summarize(res.TimesUS), nil
-	}
-	p15, s15, err := measure(cluster.Vanilla(nodes, 15, o.BaseSeed))
+	// Both configurations are independent runs; hand them to the pool.
+	outs, err := runAggregateJobs(o, []runDesc{
+		{Label: "t2-vanilla-15tpn", Nodes: nodes, Seed: o.BaseSeed, Cfg: cluster.Vanilla(nodes, 15, o.BaseSeed)},
+		{Label: "t2-prototype-16tpn", Nodes: nodes, Seed: o.BaseSeed, Cfg: cluster.Prototype(nodes, 16, o.BaseSeed)},
+	})
 	if err != nil {
 		return nil, err
 	}
-	p16, s16, err := measure(cluster.Prototype(nodes, 16, o.BaseSeed))
-	if err != nil {
-		return nil, err
-	}
+	s15, s16 := outs[0], outs[1]
 	t := &Table{
 		ID:    "T2",
 		Title: fmt.Sprintf("Fully-populated prototype vs 15 t/n vanilla, %d nodes", nodes),
@@ -92,10 +80,10 @@ func T2PopulatedSpeedup(o Options) (*Table, error) {
 			{Name: "procs"}, {Name: "mean", Unit: "us"}, {Name: "stddev", Unit: "us"},
 		},
 	}
-	t.AddRow("vanilla-15tpn", float64(p15), s15.Mean, s15.Stddev)
-	t.AddRow("prototype-16tpn", float64(p16), s16.Mean, s16.Stddev)
-	t.AddNote("per-Allreduce speedup of prototype over 15 t/n vanilla: %.0f%% (paper: 154%% at 100 nodes, with one more usable CPU per node)", stats.Speedup(s15.Mean, s16.Mean))
-	o.progress("t2: 15tpn mean=%.1fus proto mean=%.1fus", s15.Mean, s16.Mean)
+	t.AddRow("vanilla-15tpn", float64(s15.procs), s15.mean, s15.stddev)
+	t.AddRow("prototype-16tpn", float64(s16.procs), s16.mean, s16.stddev)
+	t.AddNote("per-Allreduce speedup of prototype over 15 t/n vanilla: %.0f%% (paper: 154%% at 100 nodes, with one more usable CPU per node)", stats.Speedup(s15.mean, s16.mean))
+	o.progress("t2: 15tpn mean=%.1fus proto mean=%.1fus", s15.mean, s16.mean)
 	return t, nil
 }
 
@@ -117,20 +105,6 @@ func T3ALE3D(o Options) (*Table, error) {
 	// co-scheduler's I/O starvation visible against its noise savings.
 	spec.RestartWriteBytes = 20 << 20
 	spec.CheckpointEvery = 15
-	run := func(cfg cluster.Config) (workload.ALE3DResult, error) {
-		c, err := cluster.Build(cfg)
-		if err != nil {
-			return workload.ALE3DResult{}, err
-		}
-		res, err := workload.RunALE3D(c, spec, 4*sim.Hour)
-		if err != nil {
-			return workload.ALE3DResult{}, err
-		}
-		if !res.Completed {
-			return res, fmt.Errorf("experiment t3: ALE3D did not complete")
-		}
-		return res, nil
-	}
 	t := &Table{
 		ID:    "T3",
 		Title: fmt.Sprintf("ALE3D proxy, %d procs", nodes*16),
@@ -148,18 +122,32 @@ func T3ALE3D(o Options) (*Table, error) {
 		{"cosched-naive", cluster.ALE3DNaive(nodes, 16, o.BaseSeed)},
 		{"cosched-tuned", cluster.ALE3DTuned(nodes, 16, o.BaseSeed)},
 	}
-	results := map[string]workload.ALE3DResult{}
-	for _, sc := range scens {
-		res, err := run(sc.cfg)
+	op := o.withSafeProgress()
+	outs, err := parallel.Map(op.workers(), len(scens), func(i int) (workload.ALE3DResult, error) {
+		sc := scens[i]
+		c, err := cluster.Build(sc.cfg)
 		if err != nil {
-			return nil, err
+			return workload.ALE3DResult{}, err
 		}
-		results[sc.tag] = res
+		res, err := workload.RunALE3D(c, spec, 4*sim.Hour)
+		if err != nil {
+			return workload.ALE3DResult{}, err
+		}
+		if !res.Completed {
+			return res, fmt.Errorf("experiment t3: ALE3D did not complete")
+		}
+		op.progress("t3 %s: wall=%v steps=%v dump=%v", sc.tag, res.Wall, res.StepTime, res.DumpTime)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scens {
+		res := outs[i]
 		t.AddRow(sc.tag, res.Wall.Seconds(), res.StepTime.Seconds(), res.DumpTime.Seconds(),
 			float64(res.IOStats.WriterStalls))
-		o.progress("t3 %s: wall=%v steps=%v dump=%v", sc.tag, res.Wall, res.StepTime, res.DumpTime)
 	}
-	van, tuned := results["vanilla"].Wall, results["cosched-tuned"].Wall
+	van, tuned := outs[0].Wall, outs[2].Wall
 	if van > 0 {
 		t.AddNote("tuned vs vanilla: %.1f%% wall-clock reduction (paper: 1315s -> 1152s, a 12.4%% reduction described as 'dropped 24%%')",
 			(1-tuned.Seconds()/van.Seconds())*100)
@@ -182,7 +170,7 @@ func T4Noise(o Options) (*Table, error) {
 		Cols:  []Column{{Name: "value"}, {Name: "unit-key"}},
 	}
 	// (a) noise accounting over 60 simulated seconds, standard and heavy.
-	for _, nc := range []struct {
+	noiseCfgs := []struct {
 		tag string
 		cfg cluster.Config
 	}{
@@ -192,15 +180,22 @@ func T4Noise(o Options) (*Table, error) {
 			c.Noise = noise.HeavyConfig()
 			return c
 		}()},
-	} {
-		c, err := cluster.Build(nc.cfg)
+	}
+	op := o.withSafeProgress()
+	fractions, err := parallel.Map(op.workers(), len(noiseCfgs), func(i int) (float64, error) {
+		c, err := cluster.Build(noiseCfgs[i].cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		// Occupy the CPUs the way a compute phase would.
 		c.Launch(func(r *mpi.Rank) { r.Compute(60*sim.Second, r.Done) }, 61*sim.Second)
-		rep := c.Noise[0].Measure(60 * sim.Second)
-		t.AddRow(nc.tag, rep.PerCPUFraction*100, 1) // unit-key 1: % per CPU
+		return c.Noise[0].Measure(60 * sim.Second).PerCPUFraction, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, nc := range noiseCfgs {
+		t.AddRow(nc.tag, fractions[i]*100, 1) // unit-key 1: % per CPU
 	}
 	t.AddNote("paper: typical OS and daemon activity consumes 0.2%% to 1.1%% of each CPU on 16-way SP nodes")
 
@@ -212,30 +207,27 @@ func T4Noise(o Options) (*Table, error) {
 	if nodes > 16 {
 		nodes = 16
 	}
-	for _, pc := range []struct {
+	pollCfgs := []struct {
 		tag      string
 		interval sim.Time
 	}{
 		{"allreduce-polling-400ms", 400 * sim.Millisecond},
 		{"allreduce-polling-400s", 400 * sim.Second},
-	} {
+	}
+	jobs := make([]runDesc, 0, len(pollCfgs))
+	for _, pc := range pollCfgs {
 		cfg := cluster.Vanilla(nodes, 16, o.BaseSeed)
 		cfg.Noise = noise.QuietConfig()
 		cfg.MPI.ProgressInterval = pc.interval
-		c, err := cluster.Build(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res, err := workload.RunAggregate(c, workload.AggregateSpec{Loops: 1, CallsPerLoop: o.callsFor(c.Procs()), Compute: o.ComputeGrain}, 30*sim.Minute)
-		if err != nil {
-			return nil, err
-		}
-		if !res.Completed {
-			return nil, fmt.Errorf("experiment t4: polling run did not complete")
-		}
-		sum := stats.Summarize(res.TimesUS)
-		t.AddRow(pc.tag, sum.Mean, 2) // unit-key 2: mean us
-		o.progress("t4 %s: mean=%.1fus", pc.tag, sum.Mean)
+		jobs = append(jobs, runDesc{Label: "t4-" + pc.tag, Nodes: nodes, Seed: o.BaseSeed, Cfg: cfg})
+	}
+	outs, err := runAggregateJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pc := range pollCfgs {
+		t.AddRow(pc.tag, outs[i].mean, 2) // unit-key 2: mean us
+		o.progress("t4 %s: mean=%.1fus", pc.tag, outs[i].mean)
 	}
 	t.AddNote("paper: raising MP_POLLING_INTERVAL to ~400s removed the progress-engine interference")
 	t.AddNote("unit-key: 1 = %% per CPU over 60s; 2 = mean Allreduce us")
@@ -256,11 +248,19 @@ func T5AllreduceFraction(o Options) (*Table, error) {
 			{Name: "procs"}, {Name: "share", Unit: "%"}, {Name: "wall", Unit: "s"},
 		},
 	}
-	for _, nodes := range nodeSweep(o.MaxNodes) {
-		cfg := cluster.Vanilla(nodes, 16, o.BaseSeed+int64(nodes))
+	sweep := nodeSweep(o.MaxNodes)
+	type bspOut struct {
+		procs int
+		share float64
+		wall  sim.Time
+	}
+	op := o.withSafeProgress()
+	outs, err := parallel.Map(op.workers(), len(sweep), func(i int) (bspOut, error) {
+		nodes := sweep[i]
+		cfg := cluster.Vanilla(nodes, 16, op.BaseSeed+int64(nodes))
 		c, err := cluster.Build(cfg)
 		if err != nil {
-			return nil, err
+			return bspOut{}, err
 		}
 		spec := workload.BSPSpec{
 			Steps:             100,
@@ -270,13 +270,19 @@ func T5AllreduceFraction(o Options) (*Table, error) {
 		}
 		res, err := workload.RunBSP(c, spec, 30*sim.Minute)
 		if err != nil {
-			return nil, err
+			return bspOut{}, err
 		}
 		if !res.Completed {
-			return nil, fmt.Errorf("experiment t5: %d-node run did not complete", nodes)
+			return bspOut{}, fmt.Errorf("experiment t5: %d-node run did not complete", nodes)
 		}
-		t.AddRow("", float64(c.Procs()), res.CollectiveShare*100, res.Wall.Seconds())
-		o.progress("t5 nodes=%d share=%.1f%%", nodes, res.CollectiveShare*100)
+		op.progress("t5 nodes=%d share=%.1f%%", nodes, res.CollectiveShare*100)
+		return bspOut{procs: c.Procs(), share: res.CollectiveShare, wall: res.Wall}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range outs {
+		t.AddRow("", float64(r.procs), r.share*100, r.wall.Seconds())
 	}
 	t.AddNote("paper context: Allreduces consume >50%% of total time at 1728 processors and >70%% at 4096 (ASCI White/Q measurements)")
 	return t, nil

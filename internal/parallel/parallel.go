@@ -1,0 +1,101 @@
+// Package parallel provides the deterministic work pool used to fan
+// independent simulation runs out across CPUs. Jobs are enumerated up
+// front, executed on a bounded number of worker goroutines, and their
+// results are returned in submission order — so a caller that aggregates
+// over the result slice is bit-identical to a serial loop no matter how
+// many workers ran or in which order jobs finished.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested parallelism: values > 0 are used as given,
+// anything else defaults to runtime.GOMAXPROCS(0).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0), fn(1), ..., fn(n-1) on up to workers goroutines and
+// returns the results indexed by job: out[i] is fn(i)'s value regardless
+// of which worker ran it or when it finished.
+//
+// On failure, unstarted jobs are canceled and in-flight jobs run to
+// completion (a simulation run is not interruptible mid-flight); the
+// returned error is the one from the lowest-index job that failed. Jobs
+// are dispatched in index order, so every job below the failing index has
+// run by the time Map returns.
+//
+// workers <= 1 degenerates to a plain serial loop on the calling
+// goroutine: execution order, callback order and first-error semantics
+// match a hand-written for loop exactly.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				v, err := fn(i)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map over 0 jobs = %v, %v", out, err)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(workers, 37, func(i int) (int, error) {
+			// Stagger completion so later jobs often finish first.
+			time.Sleep(time.Duration(37-i) * 100 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapSerialRunsInOrder(t *testing.T) {
+	var order []int
+	_, err := Map(1, 5, func(i int) (int, error) {
+		order = append(order, i) // no goroutines in the serial path
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution order = %v", order)
+		}
+	}
+}
+
+func TestMapSerialStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	_, err := Map(1, 10, func(i int) (int, error) {
+		ran++
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial path ran %d jobs after error, want 4", ran)
+	}
+}
+
+func TestMapErrorCancelsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	_, err := Map(2, 1000, func(i int) (int, error) {
+		started.Add(1)
+		if i == 1 {
+			return 0, boom
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("all %d jobs started despite early error", n)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	early, late := errors.New("early"), errors.New("late")
+	// Job 7 fails instantly; job 2 fails after a delay. Both run (2 is
+	// dispatched before 7), so the lowest-index error must win.
+	_, err := Map(8, 8, func(i int) (int, error) {
+		switch i {
+		case 2:
+			time.Sleep(20 * time.Millisecond)
+			return 0, early
+		case 7:
+			return 0, late
+		}
+		return i, nil
+	})
+	if !errors.Is(err, early) {
+		t.Fatalf("err = %v, want the lowest-index job's error", err)
+	}
+}
+
+func TestMapActuallyRunsConcurrently(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := Map(4, 16, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}
