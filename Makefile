@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench bench-engine profile check
 
 build:
 	$(GO) build ./...
@@ -21,5 +21,23 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-engine regenerates results/bench_engine.json: the two acceptance
+# scenarios plus the engine micro-benchmarks, each measured under the
+# timer-wheel core and the reference heap core in one process, with the
+# recorded pre-change numbers (results/bench_baseline.json) merged in.
+bench-engine:
+	mkdir -p results
+	$(GO) run ./cmd/enginebench -baseline results/bench_baseline.json -o results/bench_engine.json
+
+# profile runs a representative sweep under the CPU and allocation profilers
+# and prints the top CPU consumers. Inspect interactively with
+# `go tool pprof profiles/parsim.cpu`.
+PROFILE_ARGS ?= run fig3 t2 -csv
+profile:
+	mkdir -p profiles
+	$(GO) build -o profiles/parsim ./cmd/parsim
+	./profiles/parsim $(PROFILE_ARGS) -cpuprofile profiles/parsim.cpu -memprofile profiles/parsim.mem > /dev/null
+	$(GO) tool pprof -top -nodecount 25 profiles/parsim profiles/parsim.cpu
 
 check: vet test race

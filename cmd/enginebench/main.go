@@ -1,0 +1,277 @@
+// enginebench measures the event engine's throughput under both queue cores
+// — the production timer wheel and the reference 4-ary heap — on the two
+// acceptance scenarios (full-cluster simulation and tick-heavy single node)
+// plus the engine micro-benchmarks, and writes the numbers as JSON.
+//
+// Usage:
+//
+//	enginebench [-o results/bench_engine.json] [-reps 3]
+//
+// The scenarios mirror BenchmarkEngineThroughput (package coschedsim) and
+// BenchmarkNodeTickHeavy (internal/kernel) exactly; this tool exists so the
+// committed results/bench_engine.json can be regenerated with one command
+// and so both cores are measured back-to-back in one process, which keeps
+// the speedup ratio honest even on a noisy machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"coschedsim"
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/sim"
+)
+
+// measurement is one (scenario, core) data point.
+type measurement struct {
+	EventsPerSec float64 `json:"events_per_s"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	Iterations   int     `json:"iterations"`
+}
+
+// comparison is one scenario measured under both cores. Baseline, when
+// present, is the same scenario measured at the pre-timer-wheel commit
+// (read from -baseline, see results/bench_baseline.json): the in-process
+// heap core shares this change's allocation optimizations, so heap-vs-wheel
+// isolates the queue data structure while wheel-vs-baseline is the
+// end-to-end gain of the change.
+type comparison struct {
+	Name              string       `json:"name"`
+	Detail            string       `json:"detail"`
+	Heap              measurement  `json:"heap"`
+	Wheel             measurement  `json:"wheel"`
+	Speedup           float64      `json:"speedup"`
+	Baseline          *measurement `json:"baseline,omitempty"`
+	SpeedupVsBaseline float64      `json:"speedup_vs_baseline,omitempty"`
+}
+
+// baselineFile is the schema of -baseline (results/bench_baseline.json).
+type baselineFile struct {
+	Commit      string                 `json:"commit"`
+	Description string                 `json:"description"`
+	Scenarios   map[string]measurement `json:"scenarios"`
+}
+
+// report is the bench_engine.json schema.
+type report struct {
+	Generated      string       `json:"generated"`
+	GoVersion      string       `json:"go_version"`
+	GOMAXPROCS     int          `json:"gomaxprocs"`
+	Reps           int          `json:"reps"`
+	BaselineCommit string       `json:"baseline_commit,omitempty"`
+	Scenarios      []comparison `json:"scenarios"`
+}
+
+// scenario couples a benchmark body with its description. Bodies must call
+// b.ReportMetric(..., "events/s") like the _test.go versions they mirror.
+type scenario struct {
+	name   string
+	detail string
+	run    func(b *testing.B)
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{
+			name: "engine-throughput",
+			detail: "128 Allreduce calls on the 944-CPU vanilla cluster slice " +
+				"(8 nodes x 16 CPUs + noise + co-scheduling machinery); " +
+				"mirrors BenchmarkEngineThroughput",
+			run: engineThroughput,
+		},
+		{
+			name: "node-tick-heavy",
+			detail: "2 simulated seconds of one 16-CPU node: 24 preempting CPU " +
+				"hogs, 16 sleep/wake cyclers, 10ms ticks, usage-decay sweep; " +
+				"mirrors BenchmarkNodeTickHeavy",
+			run: nodeTickHeavy,
+		},
+		{
+			name:   "schedule-fire",
+			detail: "bare schedule+fire round trip; mirrors BenchmarkEngineScheduleFire",
+			run:    scheduleFire,
+		},
+		{
+			name:   "churn-1k",
+			detail: "schedule/reschedule/cancel churn over a 1k-event standing population; mirrors BenchmarkEngineChurn1k",
+			run:    churn1k,
+		},
+	}
+}
+
+// engineThroughput mirrors BenchmarkEngineThroughput in bench_test.go.
+func engineThroughput(b *testing.B) {
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		c := coschedsim.MustBuild(coschedsim.Vanilla(8, 16, int64(i+1)))
+		res, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
+			Loops: 1, CallsPerLoop: 128,
+		}, coschedsim.Hour)
+		if err != nil || !res.Completed {
+			b.Fatal(err)
+		}
+		fired += c.Eng.Fired()
+	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
+}
+
+// nodeTickHeavy mirrors BenchmarkNodeTickHeavy in internal/kernel.
+func nodeTickHeavy(b *testing.B) {
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(int64(i + 1))
+		opts := kernel.VanillaOptions(16)
+		opts.UsageDecay = true
+		n := kernel.MustNode(eng, 0, opts)
+		for h := 0; h < 24; h++ {
+			th := n.NewThread("hog", 100, h%16)
+			var spin func()
+			spin = func() { th.Run(500*sim.Microsecond, spin) }
+			th.Start(spin)
+		}
+		for s := 0; s < 16; s++ {
+			th := n.NewThread("cycler", 80, s)
+			var cycle func()
+			cycle = func() {
+				th.Run(100*sim.Microsecond, func() {
+					th.Sleep(3*sim.Millisecond, cycle)
+				})
+			}
+			th.Start(cycle)
+		}
+		n.Start()
+		eng.Run(2 * sim.Second)
+		fired += eng.Fired()
+	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
+}
+
+// scheduleFire mirrors BenchmarkEngineScheduleFire in internal/sim.
+func scheduleFire(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Time(i%97)+1, "bench", fn)
+		e.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// churn1k mirrors BenchmarkEngineChurn1k in internal/sim.
+func churn1k(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	var standing []*sim.Event
+	for i := 0; i < 1024; i++ {
+		standing = append(standing, e.After(sim.Time(i+1)*sim.Millisecond, "standing", fn))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(sim.Time(500+i%1000), "churn", fn)
+		e.Reschedule(ev, e.Now()+sim.Time(200+i%100))
+		e.Cancel(ev)
+		if i%8 == 0 && e.Pending() > 0 {
+			e.Step()
+		}
+	}
+	_ = standing
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// measure runs one scenario under one core reps times (testing.Benchmark
+// auto-calibrates each run to ~1s) and keeps the fastest run — the standard
+// way to reject scheduler and frequency noise on a shared machine.
+func measure(s scenario, core sim.Core, reps int) measurement {
+	prev := sim.DefaultCore
+	sim.DefaultCore = core
+	defer func() { sim.DefaultCore = prev }()
+	var best measurement
+	for i := 0; i < reps; i++ {
+		r := testing.Benchmark(s.run)
+		m := measurement{
+			EventsPerSec: r.Extra["events/s"],
+			NsPerOp:      r.NsPerOp(),
+			Iterations:   r.N,
+		}
+		if m.EventsPerSec > best.EventsPerSec {
+			best = m
+		}
+	}
+	return best
+}
+
+func main() {
+	out := flag.String("o", "results/bench_engine.json", "output JSON path (- for stdout)")
+	reps := flag.Int("reps", 3, "benchmark repetitions per scenario per core (best run is kept)")
+	basePath := flag.String("baseline", "", "pre-change baseline JSON to merge in (see results/bench_baseline.json)")
+	flag.Parse()
+	debug.SetGCPercent(800) // match parsim's production GC setting
+
+	var base baselineFile
+	if *basePath != "" {
+		buf, err := os.ReadFile(*basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "enginebench: -baseline:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "enginebench: -baseline:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := report{
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Reps:           *reps,
+		BaselineCommit: base.Commit,
+	}
+	for _, s := range scenarios() {
+		fmt.Fprintf(os.Stderr, "%-18s heap...", s.name)
+		heap := measure(s, sim.CoreHeap, *reps)
+		fmt.Fprintf(os.Stderr, " %.3gM ev/s, wheel...", heap.EventsPerSec/1e6)
+		wheel := measure(s, sim.CoreWheel, *reps)
+		speedup := 0.0
+		if heap.EventsPerSec > 0 {
+			speedup = wheel.EventsPerSec / heap.EventsPerSec
+		}
+		cmp := comparison{
+			Name: s.name, Detail: s.detail,
+			Heap: heap, Wheel: wheel, Speedup: speedup,
+		}
+		if bm, ok := base.Scenarios[s.name]; ok && bm.EventsPerSec > 0 {
+			b := bm
+			cmp.Baseline = &b
+			cmp.SpeedupVsBaseline = wheel.EventsPerSec / bm.EventsPerSec
+			fmt.Fprintf(os.Stderr, " %.3gM ev/s => %.2fx (%.2fx vs %s)\n",
+				wheel.EventsPerSec/1e6, speedup, cmp.SpeedupVsBaseline, base.Commit)
+		} else {
+			fmt.Fprintf(os.Stderr, " %.3gM ev/s => %.2fx\n", wheel.EventsPerSec/1e6, speedup)
+		}
+		rep.Scenarios = append(rep.Scenarios, cmp)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

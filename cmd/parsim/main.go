@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"coschedsim/internal/experiment"
@@ -31,6 +33,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// run() carries the real exit code out so deferred profile writers run
+	// before the process exits (os.Exit skips defers).
+	os.Exit(run())
+}
+
+func run() int {
 	switch os.Args[1] {
 	case "list":
 		for _, r := range experiment.Registry() {
@@ -46,9 +54,11 @@ func main() {
 		procs := fs.Int("procs", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 		csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose := fs.Bool("v", false, "print per-run progress")
+		cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		names, err := parseInterleaved(fs, os.Args[2:])
 		if err != nil {
-			os.Exit(2)
+			return 2
 		}
 		if os.Args[1] == "all" {
 			names = nil
@@ -58,7 +68,36 @@ func main() {
 		}
 		if len(names) == 0 {
 			fmt.Fprintln(os.Stderr, "parsim run: name an experiment (see 'parsim list')")
-			os.Exit(2)
+			return 2
+		}
+		if *cpuprofile != "" {
+			f, err := os.Create(*cpuprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parsim: -cpuprofile: %v\n", err)
+				return 2
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "parsim: -cpuprofile: %v\n", err)
+				return 2
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			}()
+		}
+		if *memprofile != "" {
+			defer func() {
+				f, err := os.Create(*memprofile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "parsim: -memprofile: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // flush accounting up to the final allocation
+				if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+					fmt.Fprintf(os.Stderr, "parsim: -memprofile: %v\n", err)
+				}
+			}()
 		}
 		opts := experiment.Quick()
 		if *full {
@@ -76,7 +115,7 @@ func main() {
 		opts.BaseSeed = *seed
 		if *procs < 0 {
 			fmt.Fprintln(os.Stderr, "parsim: -procs must be >= 0")
-			os.Exit(2)
+			return 2
 		}
 		opts.Parallelism = *procs
 		if *verbose {
@@ -86,13 +125,13 @@ func main() {
 			r, ok := experiment.Lookup(name)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "parsim: unknown experiment %q (see 'parsim list')\n", name)
-				os.Exit(2)
+				return 2
 			}
 			start := time.Now()
 			table, err := r.Run(opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "parsim: %s: %v\n", name, err)
-				os.Exit(1)
+				return 1
 			}
 			if *csv {
 				table.CSV(os.Stdout)
@@ -103,8 +142,9 @@ func main() {
 		}
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // parseInterleaved parses flags and positional experiment names in any
@@ -147,5 +187,7 @@ flags for run/all (may precede or follow experiment names):
   -procs N     concurrent simulation runs (0 = all cores, 1 = serial;
                tables are bit-identical at any setting)
   -csv         CSV output
-  -v           progress on stderr`)
+  -v           progress on stderr
+  -cpuprofile FILE   write a pprof CPU profile of the run
+  -memprofile FILE   write a pprof allocation profile at exit`)
 }

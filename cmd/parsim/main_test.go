@@ -15,10 +15,10 @@ func newTestFlagSet() (*flag.FlagSet, *bool, *int) {
 
 func TestParseInterleaved(t *testing.T) {
 	for _, tc := range []struct {
-		args      []string
-		names     []string
-		full      bool
-		seeds     int
+		args  []string
+		names []string
+		full  bool
+		seeds int
 	}{
 		{[]string{"fig3"}, []string{"fig3"}, false, 0},
 		{[]string{"fig3", "-full"}, []string{"fig3"}, true, 0},

@@ -1,0 +1,48 @@
+package kernel
+
+import (
+	"testing"
+
+	"coschedsim/internal/sim"
+)
+
+// BenchmarkNodeTickHeavy stresses the per-node periodic machinery that
+// dominates long simulations: 16 CPUs taking 10ms ticks, an oversubscribed
+// set of short-burst CPU hogs (every tick on a busy CPU reschedules the
+// running thread's burst-end event, and the one-tick timeslice round-robins
+// equal-priority hogs), and a population of sleep/wake cyclers exercising
+// the quantized timer path. The reported events/s is the engine fire rate,
+// the same unit BenchmarkEngineThroughput reports for full-cluster runs.
+func BenchmarkNodeTickHeavy(b *testing.B) {
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(int64(i + 1))
+		opts := VanillaOptions(16)
+		opts.UsageDecay = true // arms the once-per-second sweep too
+		n := MustNode(eng, 0, opts)
+
+		// 24 hogs on 16 CPUs: constant dispatch/preempt churn.
+		for h := 0; h < 24; h++ {
+			th := n.NewThread("hog", 100, h%16)
+			var spin func()
+			spin = func() { th.Run(500*sim.Microsecond, spin) }
+			th.Start(spin)
+		}
+		// 16 sleep/wake cyclers: run briefly, sleep under one tick so every
+		// wakeup lands on the timer wheel's quantized grid.
+		for s := 0; s < 16; s++ {
+			th := n.NewThread("cycler", 80, s)
+			var cycle func()
+			cycle = func() {
+				th.Run(100*sim.Microsecond, func() {
+					th.Sleep(3*sim.Millisecond, cycle)
+				})
+			}
+			th.Start(cycle)
+		}
+		n.Start()
+		eng.Run(2 * sim.Second)
+		fired += eng.Fired()
+	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
+}

@@ -51,13 +51,13 @@ func (n *Node) chargeUsage(t *Thread, work sim.Time) {
 
 // startUsageSweep arms the once-per-second recalculation (AIX's swapper):
 // halve every thread's recent CPU, recompute effective priorities, and fix
-// up queue positions.
+// up queue positions. The sweep is one recurring engine event re-armed in
+// place.
 func (n *Node) startUsageSweep() {
 	if !n.opts.UsageDecay {
 		return
 	}
-	var sweep func()
-	sweep = func() {
+	sweep := func() {
 		for _, t := range n.threads {
 			if t.fixedPrio || t.state == StateExited {
 				continue
@@ -82,7 +82,9 @@ func (n *Node) startUsageSweep() {
 			}
 		}
 		n.reconcile()
-		n.eng.After(usageSweepPeriod, "usage-sweep", sweep)
 	}
-	n.eng.After(usageSweepPeriod, "usage-sweep", sweep)
+	n.eng.Recur(n.eng.Now()+usageSweepPeriod, "usage-sweep", func() sim.Time {
+		sweep()
+		return n.eng.Now() + usageSweepPeriod
+	})
 }

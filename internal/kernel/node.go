@@ -138,6 +138,13 @@ func (n *Node) NewThread(name string, prio Priority, homeCPU int) *Thread {
 		lastCPU:  -1,
 		queueIdx: -1,
 	}
+	t.finishFn = func() { n.finishSegment(t) }
+	t.wakeLabel = name + ".wake"
+	t.wakeFn = func() {
+		t.wakeEv = nil
+		t.burstLeft = 0
+		n.makeReady(t)
+	}
 	n.nextTID++
 	n.threads = append(n.threads, t)
 	return t
@@ -159,6 +166,8 @@ func (n *Node) NewDaemon(name string, prio Priority, preferredCPU int) *Thread {
 
 // Start begins the node's periodic tick interrupts. Call once, after the
 // simulation engine exists but before (or at) the start of the measured run.
+// Each CPU's tick is a single recurring engine event re-armed in place (no
+// per-firing allocation) rather than a schedule-fire-reschedule chain.
 func (n *Node) Start() {
 	if n.started {
 		panic("kernel: node started twice")
@@ -167,21 +176,22 @@ func (n *Node) Start() {
 	for _, c := range n.cpus {
 		c := c
 		first := c.nextTickAtOrAfter(n.eng.Now())
-		n.eng.At(first, "tick0", func() { n.tick(c) })
+		n.eng.Recur(first, "tick", func() sim.Time {
+			n.tick(c)
+			return c.nextTickAtOrAfter(n.eng.Now() + 1)
+		})
 	}
 	n.startUsageSweep()
 }
 
 // tick is one timer-decrement interrupt on one CPU: it charges the handler
-// cost, serves as the lazy-preemption notice point, and schedules itself on
-// the CPU's tick grid.
+// cost and serves as the lazy-preemption notice point. The recurring event
+// armed in Start re-schedules it on the CPU's tick grid.
 func (n *Node) tick(c *CPU) {
 	c.ticksTaken++
 	n.stealCPU(c, n.opts.TickCost, &n.acct.tickSteal)
 	n.traceCPU(EvTick, c.idx, 0)
 	n.tickNotice(c)
-	next := c.nextTickAtOrAfter(n.eng.Now() + 1)
-	n.eng.At(next, "tick", func() { n.tick(c) })
 }
 
 // stealCPU charges interrupt-handler time on a CPU: a running thread's burst
@@ -356,7 +366,7 @@ func (n *Node) dispatch(c *CPU, t *Thread) {
 	}
 	work := t.burstLeft
 	t.burstLeft = 0
-	t.burstEnd = n.eng.After(overhead+work, t.name, func() { n.finishSegment(t) })
+	t.burstEnd = n.eng.After(overhead+work, t.name, t.finishFn)
 	n.trace(EvDispatch, t, int64(c.idx))
 }
 
@@ -368,7 +378,7 @@ func (t *Thread) beginBurst(d sim.Time) {
 	c := t.cpu
 	c.busySince = n.eng.Now()
 	c.stolenMark = c.stolen
-	t.burstEnd = n.eng.After(d, t.name, func() { n.finishSegment(t) })
+	t.burstEnd = n.eng.After(d, t.name, t.finishFn)
 }
 
 // closeSegment accrues occupancy and productive time for the segment that

@@ -47,6 +47,125 @@ func realRank(eff, rem int) int {
 	return eff + rem
 }
 
+// collState is a per-rank reusable state machine for the scalar Allreduce
+// and Barrier. A rank runs at most one collective at a time (the
+// continuation-passing style serializes them), so one record whose
+// continuations are bound at first use replaces the O(log N) closures each
+// call used to allocate. Every continuation that hands control back to user
+// code copies the fields it needs to locals first, so the user continuation
+// may start the rank's next collective immediately.
+type collState struct {
+	r *Rank
+
+	// Shared round state (Allreduce and Barrier are never active at once).
+	base  int
+	k     int
+	bytes int
+
+	// Allreduce
+	p2, rem, eff int
+	acc, v       float64
+	then         func(float64)
+	arExchanged  func(float64)
+	arReduce     func()
+	arFoldRecv   func(float64)
+	arFoldAdd    func()
+	arFinish     func()
+	arFinalRecv  func(float64)
+	arFinalSent  func()
+	arDirect     func()
+
+	// Barrier
+	bn    int
+	bThen func()
+	bSent func()
+	bGot  func(float64)
+}
+
+// collective returns the rank's collective state machine, building it on
+// first use.
+func (r *Rank) collective() *collState {
+	if r.coll == nil {
+		s := &collState{r: r}
+		s.arExchanged = func(v float64) {
+			s.v = v
+			r.thread.Run(r.job.cfg.ReduceCost, s.arReduce)
+		}
+		s.arReduce = func() {
+			s.acc += s.v
+			s.k++
+			s.arRounds()
+		}
+		s.arFoldRecv = func(v float64) {
+			s.v = v
+			r.thread.Run(r.job.cfg.ReduceCost, s.arFoldAdd)
+		}
+		s.arFoldAdd = func() {
+			s.acc += s.v
+			s.k, s.eff = 0, effRank(r.id, s.rem)
+			s.arRounds()
+		}
+		s.arFinish = func() {
+			// Phase 3: distribute the result back to folded-out even ranks.
+			if r.id < 2*s.rem {
+				if r.id%2 == 0 {
+					r.Recv(r.id+1, s.base+tagFinal, s.arFinalRecv)
+					return
+				}
+				r.Send(r.id-1, s.base+tagFinal, s.acc, s.bytes, s.arFinalSent)
+				return
+			}
+			then, acc := s.then, s.acc
+			s.then = nil
+			then(acc)
+		}
+		s.arFinalRecv = func(v float64) {
+			then := s.then
+			s.then = nil
+			then(v)
+		}
+		s.arFinalSent = func() {
+			then, acc := s.then, s.acc
+			s.then = nil
+			then(acc)
+		}
+		s.arDirect = s.arFinalSent
+		s.bSent = func() {
+			from := (r.id - 1<<s.k + s.bn) % s.bn
+			r.Recv(from, s.base+tagRound0+s.k, s.bGot)
+		}
+		s.bGot = func(float64) {
+			s.k++
+			s.bRound()
+		}
+		r.coll = s
+	}
+	return r.coll
+}
+
+// arRounds runs recursive-doubling round k (phase 2).
+func (s *collState) arRounds() {
+	if 1<<s.k >= s.p2 {
+		s.arFinish()
+		return
+	}
+	peer := realRank(s.eff^(1<<s.k), s.rem)
+	s.r.SendRecv(peer, s.base+tagRound0+s.k, s.acc, s.bytes, s.arExchanged)
+}
+
+// bRound runs dissemination-barrier round k.
+func (s *collState) bRound() {
+	dist := 1 << s.k
+	if dist >= s.bn {
+		then := s.bThen
+		s.bThen = nil
+		then()
+		return
+	}
+	to := (s.r.id + dist) % s.bn
+	s.r.Send(to, s.base+tagRound0+s.k, 0, 0, s.bSent)
+}
+
 // Allreduce computes the global sum of value across all ranks and continues
 // with the result. Every rank must call it in the same program order.
 func (r *Rank) Allreduce(value float64, then func(sum float64)) {
@@ -56,58 +175,29 @@ func (r *Rank) Allreduce(value float64, then func(sum float64)) {
 	}
 	n := r.Size()
 	base := r.nextTagBase()
+	s := r.collective()
+	s.acc = value
+	s.then = then
 	if n == 1 {
-		r.thread.Run(r.job.cfg.ReduceCost, func() { then(value) })
+		r.thread.Run(r.job.cfg.ReduceCost, s.arDirect)
 		return
 	}
-	p2 := floorPow2(n)
-	rem := n - p2
-	bytes := r.job.cfg.ElemBytes
-	acc := value
-
-	finish := func() {
-		// Phase 3: distribute the result back to folded-out even ranks.
-		if r.id < 2*rem {
-			if r.id%2 == 0 {
-				r.Recv(r.id+1, base+tagFinal, func(v float64) { then(v) })
-				return
-			}
-			r.Send(r.id-1, base+tagFinal, acc, bytes, func() { then(acc) })
-			return
-		}
-		then(acc)
-	}
-
-	var rounds func(k, eff int)
-	rounds = func(k, eff int) {
-		if 1<<k >= p2 {
-			finish()
-			return
-		}
-		peer := realRank(eff^(1<<k), rem)
-		r.SendRecv(peer, base+tagRound0+k, acc, bytes, func(v float64) {
-			r.thread.Run(r.job.cfg.ReduceCost, func() {
-				acc += v
-				rounds(k+1, eff)
-			})
-		})
-	}
+	s.base = base
+	s.p2 = floorPow2(n)
+	s.rem = n - s.p2
+	s.bytes = r.job.cfg.ElemBytes
 
 	// Phase 1: fold the extra ranks into a power-of-two participant set.
-	if r.id < 2*rem {
+	if r.id < 2*s.rem {
 		if r.id%2 == 0 {
-			r.Send(r.id+1, base+tagFold, acc, bytes, finish)
+			r.Send(r.id+1, base+tagFold, s.acc, s.bytes, s.arFinish)
 			return
 		}
-		r.Recv(r.id-1, base+tagFold, func(v float64) {
-			r.thread.Run(r.job.cfg.ReduceCost, func() {
-				acc += v
-				rounds(0, effRank(r.id, rem))
-			})
-		})
+		r.Recv(r.id-1, base+tagFold, s.arFoldRecv)
 		return
 	}
-	rounds(0, effRank(r.id, rem))
+	s.k, s.eff = 0, effRank(r.id, s.rem)
+	s.arRounds()
 }
 
 // Barrier blocks until every rank has entered it (dissemination algorithm:
@@ -119,22 +209,12 @@ func (r *Rank) Barrier(then func()) {
 		r.thread.Run(0, then)
 		return
 	}
-	var round func(k int)
-	round = func(k int) {
-		dist := 1 << k
-		if dist >= n {
-			then()
-			return
-		}
-		to := (r.id + dist) % n
-		from := (r.id - dist + n) % n
-		r.Send(to, base+tagRound0+k, 0, 0, func() {
-			r.Recv(from, base+tagRound0+k, func(float64) {
-				round(k + 1)
-			})
-		})
-	}
-	round(0)
+	s := r.collective()
+	s.base = base
+	s.bn = n
+	s.bThen = then
+	s.k = 0
+	s.bRound()
 }
 
 // Allgather collects every rank's value; continues with a slice indexed by

@@ -152,6 +152,41 @@ type Job struct {
 
 	// hw tracks in-flight hardware collectives by tag.
 	hw map[int]*hwOp
+
+	// deliveryPool recycles in-flight delivery records so the point-to-point
+	// path does not allocate a closure plus captures per message.
+	deliveryPool []*delivery
+}
+
+// delivery is one in-flight point-to-point message. Its fire continuation is
+// bound once when the record is first allocated; the record returns to the
+// job's pool as it fires, before the payload is handed over, so a delivery
+// that triggers further sends can reuse it immediately.
+type delivery struct {
+	job    *Job
+	target *Rank
+	key    msgKey
+	msg    message
+	fire   func()
+}
+
+// newDelivery leases a delivery record for a message to target.
+func (j *Job) newDelivery(target *Rank, key msgKey, msg message) *delivery {
+	var d *delivery
+	if n := len(j.deliveryPool); n > 0 {
+		d = j.deliveryPool[n-1]
+		j.deliveryPool = j.deliveryPool[:n-1]
+	} else {
+		d = &delivery{job: j}
+		d.fire = func() {
+			target, key, msg := d.target, d.key, d.msg
+			d.target = nil
+			d.job.deliveryPool = append(d.job.deliveryPool, d)
+			target.deliver(key, msg)
+		}
+	}
+	d.target, d.key, d.msg = target, key, msg
+	return d
 }
 
 // NewJob creates an empty job. Add ranks with AddRank, then Launch.
@@ -183,6 +218,7 @@ func (j *Job) AddRank(node *kernel.Node, cpu int) *Rank {
 		node:  node,
 		inbox: map[msgKey][]message{},
 	}
+	r.bindHotPaths()
 	proc := 1000 + id // distinct nonzero Proc per task process
 	r.thread = node.NewThread(fmt.Sprintf("rank%d", id), j.cfg.TaskPriority, cpu)
 	r.thread.Proc = proc

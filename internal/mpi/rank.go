@@ -22,6 +22,14 @@ type message struct {
 
 // Rank is one MPI task: a kernel thread bound to a CPU plus the library
 // state (inbox, pending receive, collective sequence counter).
+//
+// The point-to-point hot paths (Send, Recv, SendRecv) stage their per-call
+// arguments in rank fields and hand the scheduler continuations that were
+// bound once at rank creation, instead of allocating fresh closures per
+// message. This is safe because a rank performs at most one communication
+// call at a time (continuation-passing style serializes them); each bound
+// continuation copies the staged fields to locals before invoking user code,
+// so a nested call may re-stage them freely.
 type Rank struct {
 	job  *Job
 	id   int
@@ -32,15 +40,60 @@ type Rank struct {
 
 	inbox    map[msgKey][]message
 	vecInbox map[msgKey][][]float64 // side table for vector payloads
-	waiting  *pendingRecv
+
+	// Pending receive (at most one per rank, MPI semantics).
+	recvArmed bool
+	recvKey   msgKey
+	recvGot   message
+	recvThen  func(float64)
+	recvWait  func() // bound: runs when the wait ends; charges RecvOverhead
+	recvDone  func() // bound: invokes recvThen(recvGot.value)
+
+	// Staged Send arguments.
+	sendDst   int
+	sendTag   int
+	sendValue float64
+	sendBytes int
+	sendThen  func()
+	sendStep  func() // bound: body of the SendOverhead burst
+
+	// Staged SendRecv chain.
+	srPeer     int
+	srTag      int
+	srThen     func(float64)
+	srRecvStep func() // bound: posts the Recv after the Send completes
+
+	coll *collState // reusable collective state machine (lazily built)
 
 	collSeq int
 	done    bool
 }
 
-type pendingRecv struct {
-	key  msgKey
-	cont func(message)
+// bindHotPaths builds the per-rank continuations reused by every Send/Recv.
+func (r *Rank) bindHotPaths() {
+	r.recvDone = func() {
+		then, v := r.recvThen, r.recvGot.value
+		r.recvThen = nil
+		then(v)
+	}
+	r.recvWait = func() {
+		r.thread.Run(r.job.cfg.RecvOverhead, r.recvDone)
+	}
+	r.sendStep = func() {
+		dst, tag, then := r.sendDst, r.sendTag, r.sendThen
+		msg := message{value: r.sendValue, bytes: r.sendBytes}
+		r.sendThen = nil
+		r.job.p2pSends++
+		target := r.job.ranks[dst]
+		d := r.job.newDelivery(target, msgKey{src: r.id, tag: tag}, msg)
+		r.job.fabric.Send(r.node.ID(), target.node.ID(), msg.bytes, d.fire)
+		then()
+	}
+	r.srRecvStep = func() {
+		then := r.srThen
+		r.srThen = nil
+		r.Recv(r.srPeer, r.srTag, then)
+	}
 }
 
 // ID returns the rank number (0-based).
@@ -134,16 +187,8 @@ func (r *Rank) Send(dst, tag int, value float64, bytes int, then func()) {
 	if dst < 0 || dst >= len(r.job.ranks) {
 		panic(fmt.Sprintf("mpi: rank %d Send to invalid rank %d", r.id, dst))
 	}
-	r.thread.Run(r.job.cfg.SendOverhead, func() {
-		r.job.p2pSends++
-		target := r.job.ranks[dst]
-		msg := message{value: value, bytes: bytes}
-		key := msgKey{src: r.id, tag: tag}
-		r.job.fabric.Send(r.node.ID(), target.node.ID(), bytes, func() {
-			target.deliver(key, msg)
-		})
-		then()
-	})
+	r.sendDst, r.sendTag, r.sendValue, r.sendBytes, r.sendThen = dst, tag, value, bytes, then
+	r.thread.Run(r.job.cfg.SendOverhead, r.sendStep)
 }
 
 // Recv waits for a message from src under tag and continues with its value.
@@ -159,30 +204,29 @@ func (r *Rank) Recv(src, tag int, then func(value float64)) {
 		} else {
 			r.inbox[key] = q[1:]
 		}
-		r.thread.Run(r.job.cfg.RecvOverhead, func() { then(msg.value) })
+		r.recvGot, r.recvThen = msg, then
+		r.thread.Run(r.job.cfg.RecvOverhead, r.recvDone)
 		return
 	}
-	if r.waiting != nil {
+	if r.recvArmed {
 		panic(fmt.Sprintf("mpi: rank %d has two pending receives", r.id))
 	}
-	var got message
-	r.waiting = &pendingRecv{key: key, cont: func(m message) { got = m }}
-	finish := func() {
-		r.thread.Run(r.job.cfg.RecvOverhead, func() { then(got.value) })
-	}
+	r.recvArmed = true
+	r.recvKey = key
+	r.recvThen = then
 	if r.job.cfg.WaitMode == WaitPoll {
-		r.thread.SpinWait(finish)
+		r.thread.SpinWait(r.recvWait)
 	} else {
-		r.thread.Block(finish)
+		r.thread.Block(r.recvWait)
 	}
 }
 
 // deliver runs at message arrival (interrupt context): hand the payload to
 // a matching blocked receive, or queue it as an early arrival.
 func (r *Rank) deliver(key msgKey, msg message) {
-	if w := r.waiting; w != nil && w.key == key {
-		r.waiting = nil
-		w.cont(msg)
+	if r.recvArmed && r.recvKey == key {
+		r.recvArmed = false
+		r.recvGot = msg
 		if r.job.cfg.WaitMode == WaitPoll {
 			r.thread.Signal()
 		} else {
@@ -196,7 +240,6 @@ func (r *Rank) deliver(key msgKey, msg message) {
 // SendRecv exchanges with a partner: post the send, then wait for the
 // partner's message (the building block of recursive doubling).
 func (r *Rank) SendRecv(peer, tag int, value float64, bytes int, then func(recv float64)) {
-	r.Send(peer, tag, value, bytes, func() {
-		r.Recv(peer, tag, then)
-	})
+	r.srPeer, r.srTag, r.srThen = peer, tag, then
+	r.Send(peer, tag, value, bytes, r.srRecvStep)
 }

@@ -73,6 +73,15 @@ type Config struct {
 	Daemons    []DaemonSpec
 	Cron       CronSpec // zero Period disables cron
 	Interrupts []InterruptSpec
+
+	// GapBatch, when > 1, pre-draws interrupt inter-arrival gaps (and the
+	// target-CPU picks) in batches of this size from a dedicated per-source
+	// random stream instead of one draw per arrival on the node's shared
+	// noise stream. The run remains fully deterministic for a given seed,
+	// but the values differ from the default single-draw sequence (the
+	// shared stream's interleaving changes), so leave this at 0 or 1 to
+	// reproduce historical results bit-for-bit.
+	GapBatch int
 }
 
 // StandardDaemons is the AIX-flavored daemon set (see DESIGN.md §4).
@@ -157,7 +166,7 @@ func Attach(n *kernel.Node, cfg Config) (*Set, error) {
 		if irq.MeanGap <= 0 {
 			return nil, fmt.Errorf("noise: interrupt %s: non-positive mean gap", irq.Name)
 		}
-		s.launchInterrupts(irq)
+		s.launchInterrupts(irq, cfg.GapBatch)
 	}
 	return s, nil
 }
@@ -215,23 +224,75 @@ func (s *Set) launchCron(spec CronSpec) {
 	th.Start(func() { th.Sleep(phase, cycle) })
 }
 
-func (s *Set) launchInterrupts(spec InterruptSpec) {
-	eng := s.node.Engine()
-	var arm func()
-	arm = func() {
-		gap := s.rng.Exp(spec.MeanGap)
-		if gap <= 0 {
-			gap = sim.Microsecond
-		}
-		eng.After(gap, spec.Name, func() {
-			if s.stopped {
-				return
-			}
-			s.node.InjectInterrupt(s.rng.Intn(s.node.NumCPUs()), spec.HandlerCost)
-			arm()
-		})
+// irqSource drives one adapter interrupt stream as a single recurring
+// engine event re-armed in place. In the default mode every arrival draws
+// its gap and target CPU from the node's shared noise stream, reproducing
+// the historical sequence exactly; with a batch size > 1 the draws come in
+// blocks from a dedicated stream (see Config.GapBatch).
+type irqSource struct {
+	set   *Set
+	spec  InterruptSpec
+	batch int
+	rng   *sim.Rand // dedicated stream, only used when batch > 1
+	gaps  []sim.Time
+	cpus  []int
+	idx   int
+}
+
+func (q *irqSource) refill() {
+	q.gaps = q.gaps[:0]
+	q.cpus = q.cpus[:0]
+	ncpu := q.set.node.NumCPUs()
+	for i := 0; i < q.batch; i++ {
+		q.gaps = append(q.gaps, q.rng.Exp(q.spec.MeanGap))
+		q.cpus = append(q.cpus, q.rng.Intn(ncpu))
 	}
-	arm()
+	q.idx = 0
+}
+
+// nextGap returns the next inter-arrival gap, guarded away from zero so the
+// event horizon always advances.
+func (q *irqSource) nextGap() sim.Time {
+	var gap sim.Time
+	if q.batch > 1 {
+		if q.idx >= len(q.gaps) {
+			q.refill()
+		}
+		gap = q.gaps[q.idx]
+	} else {
+		gap = q.set.rng.Exp(q.spec.MeanGap)
+	}
+	if gap <= 0 {
+		gap = sim.Microsecond
+	}
+	return gap
+}
+
+// nextCPU returns the arrival's target CPU, paired with the gap drawn for
+// the same arrival in batch mode.
+func (q *irqSource) nextCPU() int {
+	if q.batch > 1 {
+		cpu := q.cpus[q.idx]
+		q.idx++
+		return cpu
+	}
+	return q.set.rng.Intn(q.set.node.NumCPUs())
+}
+
+func (s *Set) launchInterrupts(spec InterruptSpec, batch int) {
+	eng := s.node.Engine()
+	src := &irqSource{set: s, spec: spec, batch: batch}
+	if batch > 1 {
+		src.rng = eng.Rand(fmt.Sprintf("noise-%d-irq-%s", s.node.ID(), spec.Name))
+		src.refill()
+	}
+	eng.Recur(eng.Now()+src.nextGap(), spec.Name, func() sim.Time {
+		if s.stopped {
+			return sim.RecurStop
+		}
+		s.node.InjectInterrupt(src.nextCPU(), spec.HandlerCost)
+		return eng.Now() + src.nextGap()
+	})
 }
 
 // Stop halts all noise immediately: daemon threads are killed in whatever

@@ -2,17 +2,25 @@ package sim
 
 import "fmt"
 
-// Event is a scheduled callback. Events are created through Engine.At or
-// Engine.After and may be canceled before they fire. The zero Event is not
-// usable.
+// Event is a scheduled callback. Events are created through Engine.At,
+// Engine.After or Engine.Recur and may be canceled before they fire. The
+// zero Event is not usable.
 //
-// Ownership discipline: a fired event's *Event may be recycled by the
-// engine; do not retain or Cancel an event pointer after its callback has
-// run. Canceling a pending event you scheduled is always safe, as is
-// re-reading a canceled (never-fired) event.
+// Ownership discipline: the engine recycles Event records aggressively —
+// a fired event's *Event may be reused by the next schedule, and Cancel
+// returns the record to the pool immediately. Do not retain, re-read or
+// re-Cancel an event pointer after its callback has run or after you
+// canceled it. Canceling a pending event you scheduled is always safe.
 type Event struct {
-	fn       func()
-	index    int32 // heap index, -1 when not queued
+	fn    func()
+	recur func() Time
+
+	// gen is the event's lease generation. Queue entries are stamped with
+	// the generation current when they were inserted; cancellation and
+	// rescheduling are lazy (O(1)) — they bump gen, and stale entries are
+	// recognized and dropped when the queue reaches them.
+	gen      uint64
+	pending  bool // scheduled and not yet fired or canceled
 	canceled bool
 	when     Time
 	label    string // optional, for debugging
@@ -27,12 +35,19 @@ func (e *Event) Canceled() bool { return e.canceled }
 // Label returns the debug label given at scheduling time (may be empty).
 func (e *Event) Label() string { return e.label }
 
-// entry is the heap cell: comparisons touch only this contiguous struct,
-// never the *Event, which keeps the hot siftDown loop cache-friendly.
+// RecurStop is returned by a recurring event's callback to end the series.
+const RecurStop Time = -1
+
+// entry is one queue cell: comparisons touch only this contiguous struct,
+// never the *Event, which keeps the hot ordering loops cache-friendly. An
+// entry is live while its generation matches the event's current lease;
+// canceled or rescheduled leases leave stale entries behind that are
+// skipped when encountered.
 type entry struct {
 	when Time
 	seq  uint64
 	ev   *Event
+	gen  uint64
 }
 
 func (a entry) before(b entry) bool {
@@ -42,47 +57,17 @@ func (a entry) before(b entry) bool {
 	return a.seq < b.seq
 }
 
-// Engine is the discrete-event simulation core. It is not safe for
-// concurrent use; the whole simulation is single-goroutine by design so that
-// runs are deterministic. The queue is a 4-ary heap of value entries with a
-// free list of Event records for the fire path.
-type Engine struct {
-	now       Time
-	heap      []entry
-	seq       uint64
-	fired     uint64
-	scheduled uint64
-	stopped   bool
-	rng       *Source
-	free      []*Event
+// live reports whether the entry still represents its event's current lease.
+func (en entry) live() bool {
+	return en.ev.pending && en.gen == en.ev.gen
 }
 
-// NewEngine returns an engine at time zero whose random streams derive from
-// seed. The same seed always yields the same simulation.
-func NewEngine(seed int64) *Engine {
-	return &Engine{rng: NewSource(seed)}
-}
+// entryHeap is a 4-ary min-heap of entries ordered by (when, seq). It does
+// no position tracking: removal happens only at the top, and dead entries
+// are filtered by the caller via entry.live.
+type entryHeap []entry
 
-// Now reports the current simulated time.
-func (e *Engine) Now() Time { return e.now }
-
-// Pending reports the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.heap) }
-
-// Fired reports how many events have executed so far.
-func (e *Engine) Fired() uint64 { return e.fired }
-
-// Scheduled reports how many events have ever been scheduled.
-func (e *Engine) Scheduled() uint64 { return e.scheduled }
-
-// Rand returns a deterministic random stream for the named component.
-// Repeated calls with the same name return independent streams whose
-// sequences depend only on the engine seed and the name.
-func (e *Engine) Rand(name string) *Rand { return e.rng.Stream(name) }
-
-// siftUp restores heap order from position i toward the root.
-func (e *Engine) siftUp(i int) {
-	h := e.heap
+func (h entryHeap) siftUp(i int) {
 	item := h[i]
 	for i > 0 {
 		parent := (i - 1) >> 2
@@ -90,16 +75,12 @@ func (e *Engine) siftUp(i int) {
 			break
 		}
 		h[i] = h[parent]
-		h[i].ev.index = int32(i)
 		i = parent
 	}
 	h[i] = item
-	item.ev.index = int32(i)
 }
 
-// siftDown restores heap order from position i toward the leaves.
-func (e *Engine) siftDown(i int) {
-	h := e.heap
+func (h entryHeap) siftDown(i int) {
 	n := len(h)
 	item := h[i]
 	for {
@@ -121,11 +102,140 @@ func (e *Engine) siftDown(i int) {
 			break
 		}
 		h[i] = h[best]
-		h[i].ev.index = int32(i)
 		i = best
 	}
 	h[i] = item
-	item.ev.index = int32(i)
+}
+
+func (h *entryHeap) push(en entry) {
+	*h = append(*h, en)
+	h.siftUp(len(*h) - 1)
+}
+
+func (h *entryHeap) pop() entry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = entry{} // release the *Event reference
+	*h = old[:n]
+	if n > 0 {
+		old[:n].siftDown(0)
+	}
+	return top
+}
+
+// Core selects the event-queue implementation backing an Engine.
+type Core int
+
+const (
+	// CoreWheel is the hierarchical timer wheel (the default): O(1)
+	// schedule, cancel and reschedule, with a small per-slot heap that
+	// preserves exact (when, seq) firing order.
+	CoreWheel Core = iota
+	// CoreHeap is the single 4-ary heap the simulator originally shipped
+	// with. It is kept as the reference implementation: differential tests
+	// assert both cores fire identically, and benchmarks use it as the
+	// baseline.
+	CoreHeap
+)
+
+// DefaultCore is the queue implementation NewEngine uses. Tests flip it to
+// CoreHeap to run whole simulations against the reference queue; both cores
+// produce bit-identical simulations.
+var DefaultCore = CoreWheel
+
+// eventPoolCap bounds the free list of recycled Event records. Beyond this
+// the records are left to the garbage collector; the cap only exists to
+// stop a burst of pending events from pinning memory forever.
+const eventPoolCap = 4096
+
+// Engine is the discrete-event simulation core. It is not safe for
+// concurrent use; the whole simulation is single-goroutine by design so that
+// runs are deterministic. Events fire in strict (time, schedule-sequence)
+// order regardless of the selected Core.
+type Engine struct {
+	now       Time
+	seq       uint64
+	fired     uint64
+	scheduled uint64
+	live      int // pending events (excludes lazily-canceled entries)
+	stopped   bool
+	rng       *Source
+	free      []*Event
+
+	useHeap bool
+	heap    entryHeap // CoreHeap's single queue
+
+	wheel wheel // CoreWheel state
+}
+
+// NewEngine returns an engine at time zero whose random streams derive from
+// seed. The same seed always yields the same simulation, under either Core.
+func NewEngine(seed int64) *Engine { return NewEngineWithCore(seed, DefaultCore) }
+
+// NewEngineWithCore is NewEngine with an explicit queue implementation.
+func NewEngineWithCore(seed int64, core Core) *Engine {
+	return &Engine{rng: NewSource(seed), useHeap: core == CoreHeap}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.live }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Scheduled reports how many events have ever been scheduled (recurring
+// events count once per arming).
+func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
+// Rand returns a deterministic random stream for the named component.
+// Repeated calls with the same name return independent streams whose
+// sequences depend only on the engine seed and the name.
+func (e *Engine) Rand(name string) *Rand { return e.rng.Stream(name) }
+
+// lease takes an Event record from the pool (or allocates one) and starts a
+// new generation for it.
+func (e *Engine) lease(t Time, label string) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.gen++
+	ev.pending = true
+	ev.canceled = false
+	ev.when = t
+	ev.label = label
+	return ev
+}
+
+// recycle returns a no-longer-pending Event record to the pool. Its gen is
+// preserved so stale queue entries keep mismatching.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.recur = nil
+	if len(e.free) < eventPoolCap {
+		e.free = append(e.free, ev)
+	}
+}
+
+// enqueue inserts a new entry for ev at time t, drawing the next sequence
+// number.
+func (e *Engine) enqueue(ev *Event, t Time) {
+	en := entry{when: t, seq: e.seq, ev: ev, gen: ev.gen}
+	e.seq++
+	if e.useHeap {
+		e.heap.push(en)
+	} else {
+		e.wheel.insert(en)
+	}
 }
 
 // At schedules fn to run at time t. Scheduling in the past (t < Now) panics:
@@ -138,19 +248,11 @@ func (e *Engine) At(t Time, label string, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, t, e.now))
 	}
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free = e.free[:n-1]
-		*ev = Event{fn: fn, when: t, label: label}
-	} else {
-		ev = &Event{fn: fn, when: t, label: label}
-	}
-	ev.index = int32(len(e.heap))
-	e.heap = append(e.heap, entry{when: t, seq: e.seq, ev: ev})
-	e.seq++
+	ev := e.lease(t, label)
+	ev.fn = fn
+	e.enqueue(ev, t)
 	e.scheduled++
-	e.siftUp(len(e.heap) - 1)
+	e.live++
 	return ev
 }
 
@@ -162,33 +264,41 @@ func (e *Engine) After(d Time, label string, fn func()) *Event {
 	return e.At(e.now+d, label, fn)
 }
 
-// removeAt deletes the heap entry at index i.
-func (e *Engine) removeAt(i int) {
-	h := e.heap
-	n := len(h) - 1
-	h[i].ev.index = -1
-	if i != n {
-		h[i] = h[n]
-		h[i].ev.index = int32(i)
+// Recur schedules a recurring event: fn runs at first, and its return value
+// is the next fire time (or RecurStop to end the series). The event is
+// re-armed in place — no per-firing allocation — but each re-arm draws a
+// fresh sequence number exactly as a trailing At would, so firing order
+// among same-time events is identical to the schedule-fire-reschedule
+// pattern it replaces.
+func (e *Engine) Recur(first Time, label string, fn func() Time) *Event {
+	if fn == nil {
+		panic("sim: Recur with nil fn")
 	}
-	e.heap = h[:n]
-	if i < n {
-		e.siftDown(i)
-		e.siftUp(i)
+	if first < e.now {
+		panic(fmt.Sprintf("sim: recurring %q at %v before now %v", label, first, e.now))
 	}
+	ev := e.lease(first, label)
+	ev.recur = fn
+	e.enqueue(ev, first)
+	e.scheduled++
+	e.live++
+	return ev
 }
 
-// Cancel removes ev from the queue. Canceling an already-fired or
-// already-canceled event is a no-op. Cancel is O(log n).
+// Cancel removes ev from the queue and recycles the record. Cancellation is
+// lazy — O(1) — and the queue drops the dead entry when it reaches it.
+// Canceling an already-fired or already-canceled event is a no-op, but do
+// not retain pointers for that purpose: a canceled record may be reused by
+// a later schedule.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+	if ev == nil || !ev.pending {
 		return
 	}
+	ev.pending = false
 	ev.canceled = true
-	if ev.index >= 0 {
-		e.removeAt(int(ev.index))
-		ev.fn = nil
-	}
+	ev.gen++ // invalidate the queued entry
+	e.live--
+	e.recycle(ev)
 }
 
 // Reschedule moves a pending event to a new time, preserving identity. It
@@ -196,48 +306,84 @@ func (e *Engine) Cancel(ev *Event) {
 // Panics if the event already fired or was canceled, or if t is in the
 // past.
 func (e *Engine) Reschedule(ev *Event, t Time) {
-	if ev == nil || ev.canceled || ev.index < 0 {
+	if ev == nil || !ev.pending {
 		panic("sim: Reschedule of dead event")
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: rescheduling %q at %v before now %v", ev.label, t, e.now))
 	}
-	i := int(ev.index)
+	ev.gen++ // the old entry goes stale in place
 	ev.when = t
-	e.heap[i].when = t
-	e.heap[i].seq = e.seq
-	e.seq++
-	e.siftDown(i)
-	e.siftUp(i)
+	e.enqueue(ev, t)
 }
 
-// popMin removes and returns the earliest event.
-func (e *Engine) popMin() *Event {
-	ev := e.heap[0].ev
-	e.removeAt(0)
-	return ev
+// popNext removes and returns the earliest live entry.
+func (e *Engine) popNext() (entry, bool) {
+	if e.useHeap {
+		for len(e.heap) > 0 {
+			if en := e.heap.pop(); en.live() {
+				return en, true
+			}
+		}
+		return entry{}, false
+	}
+	return e.wheel.popNext()
+}
+
+// peekNext reports the earliest live entry's time without firing it.
+func (e *Engine) peekNext() (Time, bool) {
+	if e.useHeap {
+		for len(e.heap) > 0 {
+			if e.heap[0].live() {
+				return e.heap[0].when, true
+			}
+			e.heap.pop()
+		}
+		return 0, false
+	}
+	return e.wheel.peekNext()
 }
 
 // Step fires the next pending event, advancing the clock to its time.
 // It reports false if the queue is empty or the engine was stopped.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.heap) == 0 {
+	if e.stopped {
 		return false
 	}
-	when := e.heap[0].when
-	if when < e.now {
+	en, ok := e.popNext()
+	if !ok {
+		return false
+	}
+	if en.when < e.now {
 		panic("sim: event queue time went backwards")
 	}
-	ev := e.popMin()
-	e.now = when
+	ev := en.ev
+	e.now = en.when
 	e.fired++
-	fn := ev.fn
-	ev.fn = nil
-	// Recycle before running fn: fn must not retain ev (documented), and
-	// recycling first lets fn's own scheduling reuse the slot.
-	if len(e.free) < 4096 {
-		e.free = append(e.free, ev)
+	e.live--
+	ev.pending = false
+	if ev.recur != nil {
+		next := ev.recur()
+		if next == RecurStop {
+			e.recycle(ev)
+			return true
+		}
+		if next < e.now {
+			panic(fmt.Sprintf("sim: recurring %q returned %v before now %v", ev.label, next, e.now))
+		}
+		// Re-arm in place. The sequence number is drawn here, after the
+		// callback, matching the trailing-At idiom this replaces.
+		ev.pending = true
+		ev.when = next
+		e.enqueue(ev, next)
+		e.scheduled++
+		e.live++
+		return true
 	}
+	fn := ev.fn
+	// Recycle before running fn: fn must not retain ev (documented), and
+	// recycling first lets fn's own scheduling reuse the record.
+	e.recycle(ev)
 	fn()
 	return true
 }
@@ -248,7 +394,11 @@ func (e *Engine) Step() bool {
 // events fired by this call.
 func (e *Engine) Run(until Time) uint64 {
 	start := e.fired
-	for !e.stopped && len(e.heap) > 0 && e.heap[0].when <= until {
+	for !e.stopped {
+		when, ok := e.peekNext()
+		if !ok || when > until {
+			break
+		}
 		e.Step()
 	}
 	return e.fired - start

@@ -34,26 +34,38 @@ func TestEventPoolReuseCorrectness(t *testing.T) {
 	}
 }
 
-// TestCanceledEventsAreNotRecycled: a canceled (never fired) event must
-// keep its observable state, since callers may still inspect it.
-func TestCanceledEventsAreNotRecycled(t *testing.T) {
+// TestCanceledEventsAreRecycled: Cancel returns the record to the event
+// pool immediately (cancel-heavy runs must not leak an allocation per
+// canceled event), so a later schedule reuses the same *Event. The record
+// keeps its canceled state until that reuse.
+func TestCanceledEventsAreRecycled(t *testing.T) {
 	e := NewEngine(1)
-	var canceled []*Event
+	recycled := make(map[*Event]bool)
 	for i := 0; i < 100; i++ {
 		ev := e.At(Time(1000+i), "victim", func() {})
 		e.Cancel(ev)
-		canceled = append(canceled, ev)
+		if !ev.Canceled() || ev.Label() != "victim" {
+			t.Fatalf("event %d lost state right after Cancel: canceled=%v label=%q",
+				i, ev.Canceled(), ev.Label())
+		}
+		recycled[ev] = true
 	}
-	// Schedule and fire plenty of new events; the canceled ones must stay
-	// canceled with their labels intact.
-	for i := 0; i < 1000; i++ {
-		e.After(Time(i%13+1), "noise", func() {})
+	// New schedules must draw from the pool of canceled records, and the
+	// stale queue entries left by lazy cancellation must never fire them
+	// under their old lease.
+	reused, fired := 0, 0
+	for i := 0; i < 100; i++ {
+		ev := e.At(Time(1+i), "fresh", func() { fired++ })
+		if recycled[ev] {
+			reused++
+		}
 	}
 	e.RunUntilIdle()
-	for i, ev := range canceled {
-		if !ev.Canceled() || ev.Label() != "victim" {
-			t.Fatalf("canceled event %d mutated: canceled=%v label=%q", i, ev.Canceled(), ev.Label())
-		}
+	if reused == 0 {
+		t.Fatal("no canceled event record was recycled")
+	}
+	if fired != 100 {
+		t.Fatalf("fired %d of 100 reused-record events", fired)
 	}
 }
 

@@ -1,0 +1,206 @@
+package sim
+
+import "math/bits"
+
+// Hierarchical timer wheel. Two 256-slot wheels cover the near future —
+// 4.096us slots out to ~1.05ms, then 1.049ms slots out to ~268ms — and a
+// 4-ary heap holds the far overflow (multi-minute cron jobs, hour-scale
+// timeouts). A small "imminent" heap fronts the wheels: whenever the wheel
+// frontier advances over a slot, that slot's entries are tipped into the
+// imminent heap, which restores exact (when, seq) order among events that
+// share a slot. Scheduling, lazy cancellation and rescheduling are O(1);
+// the only ordering work ever done is a push+pop on the imminent heap,
+// whose size is bounded by the events of a single 4.096us slot.
+//
+// Invariants:
+//   - frontier is a multiple of the near slot width; every pending entry
+//     with when < frontier is in the imminent heap.
+//   - entries with slot(when) in [frontier's slot, +256) are in near;
+//     entries with farSlot(when) in [frontier's far slot, +256) are in far;
+//     everything later is in overflow.
+//   - near/far slot lists are unordered; nearCount/farCount count their
+//     entries including stale ones, so emptiness checks are exact.
+const (
+	nearShift  = 12 // 2^12 ns = 4.096us per near slot
+	wheelBits  = 8  // 256 slots per level
+	wheelSlots = 1 << wheelBits
+	wheelMask  = wheelSlots - 1
+	farShift   = nearShift + wheelBits // 2^20 ns = 1.049ms per far slot
+
+	nearSlotWidth = Time(1) << nearShift
+)
+
+type wheel struct {
+	frontier  Time // slot-aligned; imminent holds everything below it
+	imminent  entryHeap
+	near      [wheelSlots][]entry
+	far       [wheelSlots][]entry
+	nearBits  [wheelSlots / 64]uint64
+	farBits   [wheelSlots / 64]uint64
+	nearCount int
+	farCount  int
+	overflow  entryHeap
+}
+
+// insert places an entry into the level its time belongs to.
+func (w *wheel) insert(en entry) {
+	t := en.when
+	if t < w.frontier {
+		w.imminent.push(en)
+		return
+	}
+	slot := t >> nearShift
+	if slot-(w.frontier>>nearShift) < wheelSlots {
+		i := slot & wheelMask
+		w.near[i] = append(w.near[i], en)
+		w.nearBits[i>>6] |= 1 << (uint(i) & 63)
+		w.nearCount++
+		return
+	}
+	fslot := t >> farShift
+	if fslot-(w.frontier>>farShift) < wheelSlots {
+		i := fslot & wheelMask
+		w.far[i] = append(w.far[i], en)
+		w.farBits[i>>6] |= 1 << (uint(i) & 63)
+		w.farCount++
+		return
+	}
+	w.overflow.push(en)
+}
+
+// drainNear tips near slot index i into the imminent heap, dropping stale
+// entries. The slot's backing array is kept for reuse.
+func (w *wheel) drainNear(i int) {
+	lst := w.near[i]
+	w.near[i] = lst[:0]
+	w.nearBits[i>>6] &^= 1 << (uint(i) & 63)
+	w.nearCount -= len(lst)
+	for j, en := range lst {
+		if en.live() {
+			w.imminent.push(en)
+		}
+		lst[j] = entry{} // release *Event references held by the spare capacity
+	}
+}
+
+// cascadeFar redistributes far slot index i into the near wheel (which, at
+// the moment of the call, exactly spans that far slot's time range).
+func (w *wheel) cascadeFar(i int) {
+	lst := w.far[i]
+	w.far[i] = lst[:0]
+	w.farBits[i>>6] &^= 1 << (uint(i) & 63)
+	w.farCount -= len(lst)
+	for j, en := range lst {
+		if en.live() {
+			w.insert(en)
+		}
+		lst[j] = entry{}
+	}
+}
+
+// drainOverflow admits overflow entries that now fall within the far
+// horizon of the current frontier.
+func (w *wheel) drainOverflow() {
+	horizon := (uint64(w.frontier>>farShift) + wheelSlots) << farShift
+	for len(w.overflow) > 0 {
+		top := w.overflow[0]
+		if !top.live() {
+			w.overflow.pop()
+			continue
+		}
+		if uint64(top.when) >= horizon {
+			return
+		}
+		w.insert(w.overflow.pop())
+	}
+}
+
+// nextBit scans a 256-slot bitmap for the first set bit at index >= from,
+// returning wheelSlots if none.
+func nextBit(bm *[wheelSlots / 64]uint64, from int) int {
+	word := from >> 6
+	if b := bm[word] >> (uint(from) & 63); b != 0 {
+		return from + bits.TrailingZeros64(b)
+	}
+	for word++; word < len(bm); word++ {
+		if bm[word] != 0 {
+			return word<<6 + bits.TrailingZeros64(bm[word])
+		}
+	}
+	return wheelSlots
+}
+
+// advance moves the frontier forward until the imminent heap is non-empty,
+// cascading far slots and admitting overflow at window boundaries. It
+// reports false when no entries remain anywhere. Empty stretches are
+// skipped via the occupancy bitmaps, and when both wheels are empty the
+// frontier teleports straight to the overflow heap's earliest entry.
+func (w *wheel) advance() bool {
+	for {
+		if len(w.imminent) > 0 {
+			return true
+		}
+		if w.nearCount == 0 && w.farCount == 0 {
+			for len(w.overflow) > 0 && !w.overflow[0].live() {
+				w.overflow.pop()
+			}
+			if len(w.overflow) == 0 {
+				return false
+			}
+			w.frontier = w.overflow[0].when &^ (nearSlotWidth - 1)
+			w.drainOverflow()
+			continue
+		}
+		cur := w.frontier >> nearShift
+		i := int(cur & wheelMask)
+		if i == 0 {
+			// Entering a new 256-slot window: pull in the far slot that
+			// spans it, then any overflow the far horizon now reaches.
+			if w.farCount > 0 {
+				w.cascadeFar(int((cur >> wheelBits) & wheelMask))
+			}
+			if len(w.overflow) > 0 {
+				w.drainOverflow()
+			}
+		}
+		if w.nearCount > 0 {
+			if j := nextBit(&w.nearBits, i); j < wheelSlots {
+				cur += Time(j - i)
+				w.frontier = (cur + 1) << nearShift
+				w.drainNear(int(cur & wheelMask))
+				continue
+			}
+		}
+		// Nothing left in this window; jump to the next boundary.
+		w.frontier = ((cur | wheelMask) + 1) << nearShift
+	}
+}
+
+// popNext removes and returns the earliest live entry.
+func (w *wheel) popNext() (entry, bool) {
+	for {
+		for len(w.imminent) > 0 {
+			if en := w.imminent.pop(); en.live() {
+				return en, true
+			}
+		}
+		if !w.advance() {
+			return entry{}, false
+		}
+	}
+}
+
+// peekNext reports the earliest live entry's time without removing it.
+func (w *wheel) peekNext() (Time, bool) {
+	for {
+		for len(w.imminent) > 0 {
+			if w.imminent[0].live() {
+				return w.imminent[0].when, true
+			}
+			w.imminent.pop()
+		}
+		if !w.advance() {
+			return 0, false
+		}
+	}
+}

@@ -81,26 +81,33 @@ func RunAggregate(c *cluster.Cluster, spec AggregateSpec, horizon sim.Time) (Agg
 		}
 	}
 
+	// Each rank's loop is driven by three continuations bound once per rank
+	// (not per call): the call counter lives in the closure environment, so a
+	// full-size run allocates O(ranks) control state instead of O(calls).
 	program := func(r *mpi.Rank) {
-		var call func(i int)
-		call = func(i int) {
+		var i int
+		var call, body func()
+		var after func(float64)
+		body = func() {
+			mark(r, i, "begin")
+			if r.ID() == 0 {
+				t0 = r.Now()
+				res.Starts = append(res.Starts, t0)
+			}
+			r.Allreduce(float64(i), after)
+		}
+		after = func(float64) {
+			if r.ID() == 0 {
+				res.TimesUS = append(res.TimesUS, (r.Now() - t0).Micros())
+			}
+			mark(r, i, "end")
+			i++
+			call()
+		}
+		call = func() {
 			if i == total {
 				r.Done()
 				return
-			}
-			body := func() {
-				mark(r, i, "begin")
-				if r.ID() == 0 {
-					t0 = r.Now()
-					res.Starts = append(res.Starts, t0)
-				}
-				r.Allreduce(float64(i), func(float64) {
-					if r.ID() == 0 {
-						res.TimesUS = append(res.TimesUS, (r.Now() - t0).Micros())
-					}
-					mark(r, i, "end")
-					call(i + 1)
-				})
 			}
 			if spec.Compute > 0 {
 				r.Compute(spec.Compute, body)
@@ -108,7 +115,7 @@ func RunAggregate(c *cluster.Cluster, spec AggregateSpec, horizon sim.Time) (Agg
 				body()
 			}
 		}
-		call(0)
+		call()
 	}
 
 	wall, ok := c.Launch(program, horizon)
