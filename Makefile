@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine profile check
+.PHONY: build test vet race bench bench-engine bench-pdes bench-check profile check
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,19 @@ bench:
 bench-engine:
 	mkdir -p results
 	$(GO) run ./cmd/enginebench -baseline results/bench_baseline.json -o results/bench_engine.json
+
+# bench-pdes regenerates results/bench_pdes.json: the full-cluster scenarios
+# measured serially and on the sharded conservative-window core at 2 and 4
+# intra-run workers, with window statistics.
+bench-pdes:
+	mkdir -p results
+	$(GO) run ./cmd/enginebench -mode pdes -o results/bench_pdes.json
+
+# bench-check is the CI perf guard: re-measure the two acceptance scenarios
+# wheel-only and fail if either loses more than 25% events/s against the
+# committed results/bench_engine.json.
+bench-check:
+	$(GO) run ./cmd/enginebench -mode check -against results/bench_engine.json
 
 # profile runs a representative sweep under the CPU and allocation profilers
 # and prints the top CPU consumers. Inspect interactively with

@@ -1,17 +1,27 @@
-// enginebench measures the event engine's throughput under both queue cores
-// — the production timer wheel and the reference 4-ary heap — on the two
-// acceptance scenarios (full-cluster simulation and tick-heavy single node)
-// plus the engine micro-benchmarks, and writes the numbers as JSON.
+// enginebench measures the event engine's throughput and guards against
+// performance regressions. Three modes:
 //
-// Usage:
+//	enginebench [-mode engine] [-o results/bench_engine.json] [-reps 3]
+//	enginebench -mode pdes [-o results/bench_pdes.json] [-reps 3]
+//	enginebench -mode check [-against results/bench_engine.json] [-tolerance 0.25]
 //
-//	enginebench [-o results/bench_engine.json] [-reps 3]
+// Engine mode measures the serial queue cores — the production timer wheel
+// against the reference 4-ary heap — on the two acceptance scenarios
+// (full-cluster simulation and tick-heavy single node) plus the engine
+// micro-benchmarks. The scenarios mirror BenchmarkEngineThroughput (package
+// coschedsim) and BenchmarkNodeTickHeavy (internal/kernel) exactly; both
+// cores are measured back-to-back in one process, which keeps the speedup
+// ratio honest even on a noisy machine.
 //
-// The scenarios mirror BenchmarkEngineThroughput (package coschedsim) and
-// BenchmarkNodeTickHeavy (internal/kernel) exactly; this tool exists so the
-// committed results/bench_engine.json can be regenerated with one command
-// and so both cores are measured back-to-back in one process, which keeps
-// the speedup ratio honest even on a noisy machine.
+// Pdes mode measures the sharded conservative-time-window core on full
+// cluster simulations: each scenario runs serially (the wheel core) and then
+// with 2 and 4 intra-run workers, reporting events/s, speedup over serial,
+// and the window statistics (count, cross-shard events, mean active shards,
+// barrier stall) that explain the number.
+//
+// Check mode is the CI perf guard: it re-measures the two acceptance
+// scenarios wheel-only and fails (exit 1) if either regresses more than
+// -tolerance against the committed bench_engine.json.
 package main
 
 import (
@@ -207,12 +217,253 @@ func measure(s scenario, core sim.Core, reps int) measurement {
 	return best
 }
 
+// pdesMeasurement is one sharded run of a pdes scenario: throughput plus
+// the deterministic window statistics behind it.
+type pdesMeasurement struct {
+	Workers         int     `json:"workers"`
+	EventsPerSec    float64 `json:"events_per_s"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	Iterations      int     `json:"iterations"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	Windows         uint64  `json:"windows"`
+	CrossShardEvts  uint64  `json:"cross_shard_events"`
+	AvgActiveShards float64 `json:"avg_active_shards"`
+	BarrierStallMs  float64 `json:"barrier_stall_ms"`
+}
+
+// pdesComparison is one scenario: the serial wheel baseline and the sharded
+// runs at each worker count.
+type pdesComparison struct {
+	Name    string            `json:"name"`
+	Detail  string            `json:"detail"`
+	Serial  measurement       `json:"serial_wheel"`
+	Sharded []pdesMeasurement `json:"sharded"`
+}
+
+// pdesReport is the bench_pdes.json schema.
+type pdesReport struct {
+	Generated   string           `json:"generated"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Reps        int              `json:"reps"`
+	MachineNote string           `json:"machine_note,omitempty"`
+	Scenarios   []pdesComparison `json:"scenarios"`
+}
+
+// pdesScenario is a full-cluster simulation sized for the sharded core.
+type pdesScenario struct {
+	name   string
+	detail string
+	nodes  int
+	calls  int
+}
+
+func pdesScenarios() []pdesScenario {
+	return []pdesScenario{
+		{
+			name: "pdes-cluster-8",
+			detail: "128 Allreduce calls on an 8-node x 16-CPU vanilla cluster " +
+				"(the engine-throughput scenario run through the sharded core)",
+			nodes: 8, calls: 128,
+		},
+		{
+			name: "pdes-cluster-59",
+			detail: "64 Allreduce calls at the paper's full scale: 59 nodes x " +
+				"16 CPUs = 944 CPUs",
+			nodes: 59, calls: 64,
+		},
+	}
+}
+
+// pdesBody builds a benchmark body running the scenario with the given
+// intra-run worker count (0 = serial wheel engine).
+func pdesBody(s pdesScenario, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		var fired uint64
+		for i := 0; i < b.N; i++ {
+			cfg := coschedsim.Vanilla(s.nodes, 16, int64(i+1))
+			cfg.IntraRunWorkers = workers
+			c := coschedsim.MustBuild(cfg)
+			res, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
+				Loops: 1, CallsPerLoop: s.calls,
+			}, coschedsim.Hour)
+			if err != nil || !res.Completed {
+				b.Fatal(err)
+			}
+			if c.Group != nil {
+				fired += c.Group.Fired()
+			} else {
+				fired += c.Eng.Fired()
+			}
+		}
+		b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
+	}
+}
+
+// pdesStats runs the scenario once sharded to collect its deterministic
+// window statistics (identical at any worker count, so one run suffices).
+func pdesStats(s pdesScenario, workers int) (sim.GroupStats, float64) {
+	cfg := coschedsim.Vanilla(s.nodes, 16, 1)
+	cfg.IntraRunWorkers = workers
+	c := coschedsim.MustBuild(cfg)
+	if _, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
+		Loops: 1, CallsPerLoop: s.calls,
+	}, coschedsim.Hour); err != nil || c.Group == nil {
+		return sim.GroupStats{}, 0
+	}
+	gs := c.Group.Stats()
+	avg := 0.0
+	if gs.Windows > 0 {
+		avg = float64(gs.ActiveShardWindows) / float64(gs.Windows)
+	}
+	return gs, avg
+}
+
+// runPDES measures the pdes scenarios and writes bench_pdes.json.
+func runPDES(out string, reps int) {
+	rep := pdesReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	workerCounts := []int{2, 4}
+	if max := runtime.GOMAXPROCS(0); max < 4 {
+		rep.MachineNote = fmt.Sprintf(
+			"measured with GOMAXPROCS=%d: worker goroutines time-share %d core(s), "+
+				"so these speedups come from the sharded core's smaller per-shard "+
+				"event queues (cache locality), not parallel execution; rerun on a "+
+				"multi-core machine to measure real parallel speedups",
+			max, max)
+	}
+	for _, s := range pdesScenarios() {
+		fmt.Fprintf(os.Stderr, "%-16s serial...", s.name)
+		serial := measure(scenario{name: s.name, run: pdesBody(s, 0)}, sim.CoreWheel, reps)
+		cmp := pdesComparison{Name: s.name, Detail: s.detail, Serial: serial}
+		for _, w := range workerCounts {
+			fmt.Fprintf(os.Stderr, " %.3gM ev/s, w=%d...", serial.EventsPerSec/1e6, w)
+			m := measure(scenario{name: s.name, run: pdesBody(s, w)}, sim.CoreWheel, reps)
+			gs, avg := pdesStats(s, w)
+			pm := pdesMeasurement{
+				Workers:         w,
+				EventsPerSec:    m.EventsPerSec,
+				NsPerOp:         m.NsPerOp,
+				Iterations:      m.Iterations,
+				Windows:         gs.Windows,
+				CrossShardEvts:  gs.CrossShardEvents,
+				AvgActiveShards: avg,
+				BarrierStallMs:  float64(gs.BarrierStallNs) / 1e6,
+			}
+			if serial.EventsPerSec > 0 {
+				pm.SpeedupVsSerial = m.EventsPerSec / serial.EventsPerSec
+			}
+			fmt.Fprintf(os.Stderr, " %.2fx", pm.SpeedupVsSerial)
+			cmp.Sharded = append(cmp.Sharded, pm)
+		}
+		fmt.Fprintln(os.Stderr)
+		rep.Scenarios = append(rep.Scenarios, cmp)
+	}
+	writeJSON(out, rep)
+}
+
+// runCheck is the CI perf guard: re-measure the acceptance scenarios
+// wheel-only and compare events/s against the committed report.
+func runCheck(against string, reps int, tolerance float64) {
+	buf, err := os.ReadFile(against)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench: -against:", err)
+		os.Exit(1)
+	}
+	var committed report
+	if err := json.Unmarshal(buf, &committed); err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench: -against:", err)
+		os.Exit(1)
+	}
+	want := map[string]measurement{}
+	for _, c := range committed.Scenarios {
+		want[c.Name] = c.Wheel
+	}
+	guarded := []string{"engine-throughput", "node-tick-heavy"}
+	failed := false
+	for _, s := range scenarios() {
+		ref, ok := want[s.name]
+		if !ok || ref.EventsPerSec <= 0 {
+			continue
+		}
+		keep := false
+		for _, g := range guarded {
+			if s.name == g {
+				keep = true
+			}
+		}
+		if !keep {
+			continue
+		}
+		got := measure(s, sim.CoreWheel, reps)
+		ratio := got.EventsPerSec / ref.EventsPerSec
+		status := "ok"
+		if ratio < 1-tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "%-18s %.3gM ev/s vs committed %.3gM ev/s (%.2fx) %s\n",
+			s.name, got.EventsPerSec/1e6, ref.EventsPerSec/1e6, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "enginebench: wheel throughput regressed more than %.0f%% vs %s\n",
+			tolerance*100, against)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "perf check passed")
+}
+
+// writeJSON marshals v and writes it to path ("-" for stdout).
+func writeJSON(path string, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+}
+
 func main() {
-	out := flag.String("o", "results/bench_engine.json", "output JSON path (- for stdout)")
+	mode := flag.String("mode", "engine", "engine (serial core comparison), pdes (sharded core scaling), or check (CI perf guard)")
+	out := flag.String("o", "", "output JSON path (- for stdout; defaults per mode)")
 	reps := flag.Int("reps", 3, "benchmark repetitions per scenario per core (best run is kept)")
 	basePath := flag.String("baseline", "", "pre-change baseline JSON to merge in (see results/bench_baseline.json)")
+	against := flag.String("against", "results/bench_engine.json", "committed report for -mode check")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional events/s regression for -mode check")
 	flag.Parse()
 	debug.SetGCPercent(800) // match parsim's production GC setting
+
+	switch *mode {
+	case "pdes":
+		if *out == "" {
+			*out = "results/bench_pdes.json"
+		}
+		runPDES(*out, *reps)
+		return
+	case "check":
+		runCheck(*against, *reps, *tolerance)
+		return
+	case "engine":
+		if *out == "" {
+			*out = "results/bench_engine.json"
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "enginebench: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
 
 	var base baselineFile
 	if *basePath != "" {
@@ -259,19 +510,5 @@ func main() {
 		rep.Scenarios = append(rep.Scenarios, cmp)
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "enginebench:", err)
-		os.Exit(1)
-	}
-	buf = append(buf, '\n')
-	if *out == "-" {
-		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "enginebench:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintln(os.Stderr, "wrote", *out)
+	writeJSON(*out, rep)
 }

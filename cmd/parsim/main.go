@@ -51,7 +51,8 @@ func run() int {
 		calls := fs.Int("calls", 0, "override timed Allreduce calls per point")
 		seeds := fs.Int("seeds", 0, "override runs per data point")
 		seed := fs.Int64("seed", 1, "base RNG seed")
-		procs := fs.Int("procs", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		procs := fs.Int("procs", 0, "total worker budget (0 = GOMAXPROCS, 1 = serial)")
+		shardProcs := fs.Int("shard-procs", 0, "workers per single run on the sharded engine core (carved out of -procs; 0/1 = serial engine per run)")
 		csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose := fs.Bool("v", false, "print per-run progress")
 		cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -117,7 +118,12 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "parsim: -procs must be >= 0")
 			return 2
 		}
+		if *shardProcs < 0 {
+			fmt.Fprintln(os.Stderr, "parsim: -shard-procs must be >= 0")
+			return 2
+		}
 		opts.Parallelism = *procs
+		opts.ShardWorkers = *shardProcs
 		if *verbose {
 			opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 		}
@@ -184,10 +190,17 @@ flags for run/all (may precede or follow experiment names):
   -calls N     override Allreduce calls per point
   -seeds N     override seeds per point
   -seed N      base RNG seed
-  -procs N     concurrent simulation runs (0 = all cores, 1 = serial;
+  -procs N     total worker budget (0 = all cores, 1 = serial;
                tables are bit-identical at any setting)
+  -shard-procs N  intra-run workers per simulation on the sharded engine
+               core (per-node event shards, conservative time windows).
+               Carved out of the -procs budget: sweep-level workers become
+               procs/shard-procs, so the total never exceeds -procs.
+               0 or 1 runs each simulation on the serial engine. Outputs
+               are bit-identical at any setting.
   -csv         CSV output
-  -v           progress on stderr
+  -v           progress on stderr (includes per-run pdes window stats
+               when -shard-procs is active)
   -cpuprofile FILE   write a pprof CPU profile of the run
   -memprofile FILE   write a pprof allocation profile at exit`)
 }

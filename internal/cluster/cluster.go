@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 
 	"coschedsim/internal/cosched"
 	"coschedsim/internal/gpfs"
@@ -48,6 +49,18 @@ type Config struct {
 	// enabled, the periodic "mmfsd" entry in Noise is replaced by the live
 	// service daemon.
 	GPFS *gpfs.Config
+
+	// IntraRunWorkers > 1 runs this cluster on the sharded parallel engine
+	// core (sim.CoreSharded): one event shard per node, executed window by
+	// window on that many worker goroutines, with the fabric latency as
+	// conservative lookahead. 0 and 1 select the serial engine. The value
+	// is a worker budget for this single run; the experiment harness
+	// divides the sweep-level budget by it so sweep x intra-run workers
+	// never exceeds the -procs total. Configurations the sharded core
+	// cannot execute deterministically (jitter, hardware collectives,
+	// single node) silently fall back to the serial engine — outputs are
+	// bit-identical either way, only wall clock differs.
+	IntraRunWorkers int
 
 	Seed int64
 }
@@ -93,6 +106,10 @@ func (c Config) Validate() error {
 type Cluster struct {
 	Config Config
 	Eng    *sim.Engine
+	// Group is the shard coordinator when the cluster was built on the
+	// sharded core (nil on the serial engine). Eng is then shard 0, which
+	// also carries the cluster-scoped random streams.
+	Group  *sim.ShardGroup
 	Nodes  []*kernel.Node
 	Clocks []network.Clock
 	Fabric *network.Fabric
@@ -102,17 +119,46 @@ type Cluster struct {
 	Job    *mpi.Job
 }
 
+// shardable reports whether the configuration can run on the sharded core
+// with bit-identical results. Jitter draws from one shared random stream in
+// fabric send order; hardware collectives funnel every rank through one
+// combine accumulator; both are inherently serial. A single node has
+// nothing to shard, and a zero fabric latency gives no lookahead.
+func shardable(cfg Config) bool {
+	return cfg.Nodes > 1 &&
+		cfg.Network.Jitter == 0 &&
+		cfg.Network.Lookahead() > 0 &&
+		!cfg.MPI.HardwareCollectives
+}
+
 // Build constructs the cluster. The job is created with one rank per task
 // slot but not launched; call Launch (or Job.Launch) with the program.
 func Build(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{Config: cfg, Eng: sim.NewEngine(cfg.Seed)}
+	c := &Cluster{Config: cfg}
+	if (cfg.IntraRunWorkers > 1 || sim.DefaultCore == sim.CoreSharded) && shardable(cfg) {
+		workers := cfg.IntraRunWorkers
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		c.Group = sim.NewShardGroup(cfg.Seed, cfg.Nodes, workers, cfg.Network.Lookahead())
+		c.Eng = c.Group.Shard(0)
+	} else {
+		c.Eng = sim.NewEngine(cfg.Seed)
+	}
 	var err error
 	c.Fabric, err = network.NewFabric(c.Eng, cfg.Network)
 	if err != nil {
 		return nil, err
+	}
+	if c.Group != nil {
+		engines := make([]*sim.Engine, cfg.Nodes)
+		for i := range engines {
+			engines[i] = c.Group.Shard(i)
+		}
+		c.Fabric.BindNodeEngines(engines)
 	}
 	if cfg.Cosched != nil {
 		c.Sched, err = cosched.New(*cfg.Cosched)
@@ -129,10 +175,16 @@ func Build(cfg Config) (*Cluster, error) {
 
 	for i := 0; i < cfg.Nodes; i++ {
 		opts := cfg.Kernel
+		// Everything owned by node i — kernel, clock, noise, GPFS — lives
+		// on node i's engine shard (the shared engine when not sharded).
+		eng := c.Eng
+		if c.Group != nil {
+			eng = c.Group.Shard(i)
+		}
 		var clock network.Clock
 		if cfg.SyncClocks {
 			opts.Phase = 0
-			clock = network.NewSwitchClock(c.Eng)
+			clock = network.NewSwitchClock(eng)
 		} else {
 			skew := cfg.ClockSkew
 			if skew <= 0 {
@@ -140,9 +192,9 @@ func Build(cfg Config) (*Cluster, error) {
 			}
 			off := skewRNG.Duration(skew + 1)
 			opts.Phase = off % opts.EffectiveTick()
-			clock = network.NewLocalClock(c.Eng, off)
+			clock = network.NewLocalClock(eng, off)
 		}
-		n, err := kernel.NewNode(c.Eng, i, opts)
+		n, err := kernel.NewNode(eng, i, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -210,17 +262,21 @@ func (c *Cluster) Procs() int { return c.Job.Size() }
 // horizon passes; it returns the job's completion time and whether it
 // finished. Noise continues during the run and is stopped afterwards.
 func (c *Cluster) Launch(program func(*mpi.Rank), horizon sim.Time) (sim.Time, bool) {
-	var completed sim.Time
-	c.Job.OnComplete(func() {
-		completed = c.Eng.Now()
-		c.Eng.Stop()
-	})
+	// On the sharded core the completion callback runs on whichever shard
+	// fires the final Done; it may only touch shard-safe state. Stop ends
+	// the run at the next window barrier, and the completion time is the
+	// job's own max-over-ranks record rather than a shared clock read.
+	c.Job.OnComplete(func() { c.Eng.Stop() })
 	c.Job.Launch(program)
-	c.Eng.Run(horizon)
+	if c.Group != nil {
+		c.Group.Run(horizon)
+	} else {
+		c.Eng.Run(horizon)
+	}
 	for _, ns := range c.Noise {
 		ns.Stop()
 	}
-	return completed, c.Job.Completed()
+	return c.Job.CompletedAt(), c.Job.Completed()
 }
 
 // Preset constructors ------------------------------------------------------

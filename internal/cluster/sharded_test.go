@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+
+	"coschedsim/internal/mpi"
+	"coschedsim/internal/sim"
+)
+
+// allreduceTrace runs a fixed Allreduce loop on cfg and returns rank 0's
+// per-call times, the completion time, and the job's total point-to-point
+// send count — a fingerprint sensitive to any ordering or RNG divergence.
+func allreduceTrace(t *testing.T, cfg Config, calls int) ([]sim.Time, sim.Time, uint64, *Cluster) {
+	t.Helper()
+	c := MustBuild(cfg)
+	var times []sim.Time
+	var t0 sim.Time
+	done, ok := c.Launch(func(r *mpi.Rank) {
+		var loop func(i int)
+		loop = func(i int) {
+			if i == calls {
+				r.Done()
+				return
+			}
+			if r.ID() == 0 {
+				t0 = r.Now()
+			}
+			r.Allreduce(float64(r.ID()), func(float64) {
+				if r.ID() == 0 {
+					times = append(times, r.Now()-t0)
+				}
+				loop(i + 1)
+			})
+		}
+		loop(0)
+	}, 10*sim.Minute)
+	if !ok {
+		t.Fatal("allreduce loop did not complete")
+	}
+	return times, done, c.Job.P2PSends(), c
+}
+
+// TestShardedClusterBitIdentical is the cluster-level determinism pin: the
+// same configuration run serially and on the sharded engine at several
+// worker counts must produce identical per-call times, completion time,
+// and send counts.
+func TestShardedClusterBitIdentical(t *testing.T) {
+	const calls = 60
+	for _, preset := range []struct {
+		name string
+		cfg  func(int64) Config
+	}{
+		{"vanilla", func(s int64) Config { return Vanilla(4, 16, s) }},
+		{"prototype", func(s int64) Config { return Prototype(4, 16, s) }},
+	} {
+		t.Run(preset.name, func(t *testing.T) {
+			refTimes, refDone, refSends, refC := allreduceTrace(t, preset.cfg(7), calls)
+			if refC.Group != nil {
+				t.Fatal("serial build unexpectedly sharded")
+			}
+			for _, workers := range []int{1, 2, 3} {
+				cfg := preset.cfg(7)
+				cfg.IntraRunWorkers = workers
+				times, done, sends, c := allreduceTrace(t, cfg, calls)
+				if workers > 1 && c.Group == nil {
+					t.Fatalf("workers=%d: sharded build has no group", workers)
+				}
+				if done != refDone || sends != refSends {
+					t.Fatalf("workers=%d: done=%v sends=%d, want %v/%d", workers, done, sends, refDone, refSends)
+				}
+				if len(times) != len(refTimes) {
+					t.Fatalf("workers=%d: %d calls recorded, want %d", workers, len(times), len(refTimes))
+				}
+				for i := range times {
+					if times[i] != refTimes[i] {
+						t.Fatalf("workers=%d: call %d took %v, want %v", workers, i, times[i], refTimes[i])
+					}
+				}
+				if workers > 1 {
+					if c.Fabric.Stats().CrossShardSends == 0 {
+						t.Errorf("workers=%d: no cross-shard sends counted", workers)
+					}
+					if c.Group.Stats().Windows == 0 {
+						t.Errorf("workers=%d: no windows recorded", workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedGating verifies configurations that cannot shard safely fall
+// back to the serial engine instead of diverging or crashing.
+func TestShardedGating(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"jitter", func(c *Config) { c.Network.Jitter = sim.Microsecond }},
+		{"hardware-collectives", func(c *Config) {
+			c.MPI.HardwareCollectives = true
+			c.MPI.HWCollectiveLatency = 20 * sim.Microsecond
+		}},
+		{"one-node", func(c *Config) { c.Nodes = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Vanilla(4, 16, 7)
+			cfg.IntraRunWorkers = 2
+			tc.mutate(&cfg)
+			c := MustBuild(cfg)
+			if c.Group != nil {
+				t.Fatal("unshardable config was built sharded")
+			}
+			done, ok := c.Launch(func(r *mpi.Rank) {
+				r.Allreduce(1, func(float64) { r.Done() })
+			}, sim.Minute)
+			if !ok || done <= 0 {
+				t.Fatalf("fallback run failed: done=%v ok=%v", done, ok)
+			}
+		})
+	}
+}

@@ -24,7 +24,6 @@ type Transition struct {
 type Scheduler struct {
 	params      Params
 	nodes       map[*kernel.Node]*nodeSched
-	transitions []Transition
 	recordTrans bool
 }
 
@@ -56,8 +55,24 @@ func (s *Scheduler) Params() Params { return s.params }
 // many nodes may want it off).
 func (s *Scheduler) RecordTransitions(on bool) { s.recordTrans = on }
 
-// Transitions returns the window-edge log.
-func (s *Scheduler) Transitions() []Transition { return s.transitions }
+// Transitions returns the window-edge log, sorted by (Time, Node). Edges
+// are recorded per node daemon — so daemons on different engine shards
+// never share a slice — and merged here; a node never records two edges at
+// the same instant, so the (Time, Node) order is total and matches the
+// firing order of a serial run (same-time daemons fire in node order).
+func (s *Scheduler) Transitions() []Transition {
+	var all []Transition
+	for _, ns := range s.nodes {
+		all = append(all, ns.transitions...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Time != all[j].Time {
+			return all[i].Time < all[j].Time
+		}
+		return all[i].Node < all[j].Node
+	})
+	return all
+}
 
 // AddNode starts a co-scheduler daemon on the node, driven by the node's
 // clock. Call before launching the job.
@@ -145,6 +160,8 @@ type nodeSched struct {
 	cycles    uint64
 	fineGrain int      // active fine-grain regions (hint API)
 	extended  sim.Time // total favored-window extension granted
+
+	transitions []Transition // this node's window edges (see Transitions)
 }
 
 // start launches the daemon thread and waits for the first period boundary
@@ -215,7 +232,7 @@ func (ns *nodeSched) maybeExit() bool {
 func (ns *nodeSched) setFavored(fav bool) {
 	ns.inFavored = fav
 	if ns.sched.recordTrans {
-		ns.sched.transitions = append(ns.sched.transitions,
+		ns.transitions = append(ns.transitions,
 			Transition{Time: ns.node.Engine().Now(), Node: ns.node.ID(), Favored: fav})
 	}
 	ids := make([]int, 0, len(ns.procs))

@@ -49,5 +49,53 @@ func TestEngineSwapBitIdentical(t *testing.T) {
 			t.Errorf("%s: output differs between engine cores\n--- wheel ---\n%s\n--- heap ---\n%s",
 				name, wheel, heap)
 		}
+		sharded := renderedWithCore(t, name, sim.CoreSharded)
+		if !bytes.Equal(wheel, sharded) {
+			t.Errorf("%s: output differs between wheel and sharded cores\n--- wheel ---\n%s\n--- sharded ---\n%s",
+				name, wheel, sharded)
+		}
+	}
+}
+
+// renderedWithShardWorkers runs an experiment with the given intra-run
+// worker count (0 = serial) under the default core and returns rendered
+// text plus CSV bytes.
+func renderedWithShardWorkers(t *testing.T, name string, workers int) []byte {
+	t.Helper()
+	r, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("unknown experiment %s", name)
+	}
+	o := detOptions()
+	o.Parallelism = 3
+	o.ShardWorkers = workers
+	tab, err := r.Run(o)
+	if err != nil {
+		t.Fatalf("%s with %d shard workers: %v", name, workers, err)
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	tab.CSV(&buf)
+	return buf.Bytes()
+}
+
+// TestShardWorkersBitIdentical pins the tentpole guarantee end to end:
+// sweeps run with intra-run parallelism (the sharded conservative-window
+// core, real worker goroutines) produce byte-identical tables to serial
+// runs. Under -race this also exercises the worker pool for data races.
+func TestShardWorkersBitIdentical(t *testing.T) {
+	names := []string{"fig3"}
+	if !testing.Short() {
+		names = append(names, "fig5")
+	}
+	for _, name := range names {
+		serial := renderedWithShardWorkers(t, name, 0)
+		for _, w := range []int{2, 3} {
+			got := renderedWithShardWorkers(t, name, w)
+			if !bytes.Equal(serial, got) {
+				t.Errorf("%s: output differs between serial and %d shard workers\n--- serial ---\n%s\n--- sharded ---\n%s",
+					name, w, serial, got)
+			}
+		}
 	}
 }

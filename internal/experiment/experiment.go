@@ -43,6 +43,16 @@ type Options struct {
 	// enumeration order, so tables, fits and notes are bit-identical at
 	// any parallelism.
 	Parallelism int
+	// ShardWorkers > 1 additionally parallelizes *inside* each simulation
+	// run: clusters are built on the sharded engine core (one event shard
+	// per node, conservative time windows) with this many intra-run
+	// workers. The Parallelism value is the TOTAL worker budget — the
+	// sweep-level pool shrinks to Parallelism/ShardWorkers workers so
+	// sweep x intra-run never oversubscribes it. ShardWorkers above the
+	// budget is clamped to it. Outputs are bit-identical at any setting;
+	// only wall-clock and its distribution across runs change. 0 and 1
+	// keep runs on the serial engine.
+	ShardWorkers int
 	// Progress, when non-nil, receives one line per completed run. Under
 	// parallelism > 1 the callback is invoked from worker goroutines but
 	// never concurrently (calls are serialized); line order across runs
@@ -69,6 +79,9 @@ func (o Options) validate() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("experiment: Parallelism must be >= 0 (0 = GOMAXPROCS)")
+	}
+	if o.ShardWorkers < 0 {
+		return fmt.Errorf("experiment: ShardWorkers must be >= 0 (0/1 = serial engine)")
 	}
 	return nil
 }

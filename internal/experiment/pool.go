@@ -31,9 +31,33 @@ type runOut struct {
 	stddev float64
 }
 
-// workers resolves the worker count for this run (Parallelism, or
-// GOMAXPROCS when unset).
-func (o Options) workers() int { return parallel.Workers(o.Parallelism) }
+// workers resolves the sweep-level worker count: the total budget
+// (Parallelism, or GOMAXPROCS when unset) divided by whatever each run
+// consumes for intra-run parallelism, so that sweep workers times shard
+// workers never exceeds the budget.
+func (o Options) workers() int {
+	w := parallel.Workers(o.Parallelism)
+	if s := o.shardWorkers(); s > 1 {
+		w /= s
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
+}
+
+// shardWorkers resolves the per-run intra-run worker count, clamped to the
+// total budget; values <= 1 disable sharding.
+func (o Options) shardWorkers() int {
+	s := o.ShardWorkers
+	if budget := parallel.Workers(o.Parallelism); s > budget {
+		s = budget
+	}
+	if s <= 1 {
+		return 0
+	}
+	return s
+}
 
 // withSafeProgress returns a copy of o whose Progress callback is
 // serialized behind a mutex so pool workers may report concurrently.
@@ -60,8 +84,12 @@ func (o Options) withSafeProgress() Options {
 // cancels the remaining ones.
 func runAggregateJobs(o Options, jobs []runDesc) ([]runOut, error) {
 	o = o.withSafeProgress()
+	shard := o.shardWorkers()
 	return parallel.Map(o.workers(), len(jobs), func(i int) (runOut, error) {
 		j := jobs[i]
+		if shard > 1 {
+			j.Cfg.IntraRunWorkers = shard
+		}
 		c, err := cluster.Build(j.Cfg)
 		if err != nil {
 			return runOut{}, err
@@ -78,6 +106,17 @@ func runAggregateJobs(o Options, jobs []runDesc) ([]runOut, error) {
 		sum := stats.Summarize(res.TimesUS)
 		o.progress("%s nodes=%d procs=%d seed=%d mean=%.1fus stddev=%.1fus",
 			j.Label, j.Nodes, c.Procs(), j.SeedIdx, sum.Mean, sum.Stddev)
+		if c.Group != nil {
+			gs := c.Group.Stats()
+			ns := c.Fabric.Stats()
+			avg := 0.0
+			if gs.Windows > 0 {
+				avg = float64(gs.ActiveShardWindows) / float64(gs.Windows)
+			}
+			o.progress("%s nodes=%d seed=%d pdes windows=%d cross-events=%d cross-sends=%d avg-active-shards=%.1f barrier-stall=%.0fms",
+				j.Label, j.Nodes, j.SeedIdx, gs.Windows, gs.CrossShardEvents,
+				ns.CrossShardSends, avg, float64(gs.BarrierStallNs)/1e6)
+		}
 		return runOut{procs: c.Procs(), mean: sum.Mean, stddev: sum.Stddev}, nil
 	})
 }

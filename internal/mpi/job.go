@@ -14,6 +14,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"coschedsim/internal/kernel"
 	"coschedsim/internal/network"
@@ -144,44 +145,49 @@ type Job struct {
 	registry Registry
 
 	launched   bool
-	finished   int
 	onComplete []func()
 
-	// Stats
-	p2pSends uint64
+	// Completion accounting is atomic because ranks on different engine
+	// shards finish concurrently under the sharded core. finished counts
+	// ranks that called Done; lastDone tracks the maximum Done time (as
+	// int64 nanoseconds), which is order-independent — the serial engine's
+	// "time of the final Done" is the same maximum.
+	finished atomic.Int64
+	lastDone atomic.Int64
 
-	// hw tracks in-flight hardware collectives by tag.
+	// hw tracks in-flight hardware collectives by tag. The combine engine
+	// is a single shared accumulator, so hardware collectives force the
+	// serial engine (cluster gating).
 	hw map[int]*hwOp
-
-	// deliveryPool recycles in-flight delivery records so the point-to-point
-	// path does not allocate a closure plus captures per message.
-	deliveryPool []*delivery
 }
 
 // delivery is one in-flight point-to-point message. Its fire continuation is
 // bound once when the record is first allocated; the record returns to the
-// job's pool as it fires, before the payload is handed over, so a delivery
-// that triggers further sends can reuse it immediately.
+// receiving rank's pool as it fires, before the payload is handed over, so a
+// delivery that triggers further sends can reuse it immediately. Pools are
+// per rank so that under the sharded core each pool is only ever touched by
+// its owner's shard: leases happen on the sender (who owns the record until
+// it fires) and releases happen on the receiver — so records migrate from
+// sender pools to receiver pools, which is harmless.
 type delivery struct {
-	job    *Job
 	target *Rank
 	key    msgKey
 	msg    message
 	fire   func()
 }
 
-// newDelivery leases a delivery record for a message to target.
-func (j *Job) newDelivery(target *Rank, key msgKey, msg message) *delivery {
+// newDelivery leases a delivery record from r's pool for a message to target.
+func (r *Rank) newDelivery(target *Rank, key msgKey, msg message) *delivery {
 	var d *delivery
-	if n := len(j.deliveryPool); n > 0 {
-		d = j.deliveryPool[n-1]
-		j.deliveryPool = j.deliveryPool[:n-1]
+	if n := len(r.deliveryPool); n > 0 {
+		d = r.deliveryPool[n-1]
+		r.deliveryPool = r.deliveryPool[:n-1]
 	} else {
-		d = &delivery{job: j}
+		d = &delivery{}
 		d.fire = func() {
 			target, key, msg := d.target, d.key, d.msg
 			d.target = nil
-			d.job.deliveryPool = append(d.job.deliveryPool, d)
+			target.deliveryPool = append(target.deliveryPool, d)
 			target.deliver(key, msg)
 		}
 	}
@@ -241,7 +247,14 @@ func (j *Job) Config() Config { return j.cfg }
 
 // P2PSends reports the total point-to-point messages sent (algorithm
 // verification: a recursive-doubling Allreduce sends ~2*log2(N) per task).
-func (j *Job) P2PSends() uint64 { return j.p2pSends }
+// Counters are per rank; call between or after runs.
+func (j *Job) P2PSends() uint64 {
+	var n uint64
+	for _, r := range j.ranks {
+		n += r.p2pSends
+	}
+	return n
+}
 
 // OnComplete registers a callback invoked when every rank has called Done.
 // Callbacks stack and run in registration order.
@@ -295,6 +308,10 @@ func (j *Job) startProgressThread(r *Rank) {
 }
 
 // rankDone accounts a completed rank and fires the completion callback.
+// The counter updates are atomic so ranks on different engine shards may
+// finish concurrently; the callback fires exactly once, on whichever shard
+// executes the final Done, after every earlier rank's completion time is
+// visible (the atomic add totally orders the increments).
 func (j *Job) rankDone(r *Rank) {
 	if j.registry != nil {
 		j.registry.UnregisterProcess(r.node, r.thread.Proc)
@@ -304,8 +321,14 @@ func (j *Job) rankDone(r *Rank) {
 		// to a polling interval for it to notice.
 		r.progress.Kill()
 	}
-	j.finished++
-	if j.finished == len(j.ranks) {
+	now := int64(r.node.Engine().Now())
+	for {
+		cur := j.lastDone.Load()
+		if now <= cur || j.lastDone.CompareAndSwap(cur, now) {
+			break
+		}
+	}
+	if j.finished.Add(1) == int64(len(j.ranks)) {
 		for _, fn := range j.onComplete {
 			fn()
 		}
@@ -313,4 +336,14 @@ func (j *Job) rankDone(r *Rank) {
 }
 
 // Completed reports whether every rank has called Done.
-func (j *Job) Completed() bool { return j.launched && j.finished == len(j.ranks) }
+func (j *Job) Completed() bool { return j.launched && j.finished.Load() == int64(len(j.ranks)) }
+
+// CompletedAt returns the simulated time the final rank called Done (the
+// maximum over ranks, so it is independent of shard execution order). Zero
+// until the job completes.
+func (j *Job) CompletedAt() sim.Time {
+	if !j.Completed() {
+		return 0
+	}
+	return sim.Time(j.lastDone.Load())
+}

@@ -65,6 +65,12 @@ type Rank struct {
 
 	coll *collState // reusable collective state machine (lazily built)
 
+	// deliveryPool recycles in-flight delivery records (see delivery); it
+	// is per rank so each pool stays on one engine shard.
+	deliveryPool []*delivery
+	// p2pSends counts messages this rank sent (summed by Job.P2PSends).
+	p2pSends uint64
+
 	collSeq int
 	done    bool
 }
@@ -83,9 +89,9 @@ func (r *Rank) bindHotPaths() {
 		dst, tag, then := r.sendDst, r.sendTag, r.sendThen
 		msg := message{value: r.sendValue, bytes: r.sendBytes}
 		r.sendThen = nil
-		r.job.p2pSends++
+		r.p2pSends++
 		target := r.job.ranks[dst]
-		d := r.job.newDelivery(target, msgKey{src: r.id, tag: tag}, msg)
+		d := r.newDelivery(target, msgKey{src: r.id, tag: tag}, msg)
 		r.job.fabric.Send(r.node.ID(), target.node.ID(), msg.bytes, d.fire)
 		then()
 	}
@@ -113,8 +119,10 @@ func (r *Rank) Thread() *kernel.Thread { return r.thread }
 // progress engine is disabled.
 func (r *Rank) ProgressThread() *kernel.Thread { return r.progress }
 
-// Now returns the current simulated time (convenience for timing loops).
-func (r *Rank) Now() sim.Time { return r.job.eng.Now() }
+// Now returns the current simulated time as this rank's node sees it
+// (convenience for timing loops). Under the sharded core each node rides
+// its own engine shard, so the rank must read its own node's clock.
+func (r *Rank) Now() sim.Time { return r.node.Engine().Now() }
 
 // Compute consumes d of CPU time, then continues. It is the "computation
 // phase" primitive of the bulk-synchronous model.

@@ -32,7 +32,7 @@ func (r *Rank) sendVec(dst, tag int, vec []float64, then func()) {
 	copy(payload, vec)
 	bytes := len(vec) * r.job.cfg.ElemBytes
 	r.thread.Run(r.job.cfg.SendOverhead, func() {
-		r.job.p2pSends++
+		r.p2pSends++
 		target := r.job.ranks[dst]
 		key := msgKey{src: r.id, tag: tag}
 		r.job.fabric.Send(r.node.ID(), target.node.ID(), bytes, func() {

@@ -51,11 +51,29 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Lookahead returns the fabric's minimum cross-node delivery latency: every
+// inter-node message arrives at least this far past its send time (bandwidth
+// serialization and jitter only add). It is the conservative-PDES window
+// length for per-node event shards; LocalLatency does not constrain it
+// because same-node traffic never crosses a shard boundary.
+func (c Config) Lookahead() sim.Time { return c.Latency }
+
 // Stats counts fabric traffic.
 type Stats struct {
 	Messages      uint64
 	Bytes         uint64
 	LocalMessages uint64
+	// CrossShardSends counts messages staged across engine shards (always
+	// zero on a serial engine).
+	CrossShardSends uint64
+}
+
+// add accumulates counters (for summing per-shard stats).
+func (s *Stats) add(o Stats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.LocalMessages += o.LocalMessages
+	s.CrossShardSends += o.CrossShardSends
 }
 
 // Fabric delivers messages between nodes.
@@ -64,6 +82,12 @@ type Fabric struct {
 	cfg  Config
 	rng  *sim.Rand
 	stat Stats
+
+	// Sharded mode (BindNodeEngines): per-node engines and per-node
+	// counters. Counters are indexed by source node so concurrent shards
+	// never write the same word; Stats sums them.
+	engines   []*sim.Engine
+	shardStat []Stats
 }
 
 // NewFabric builds a fabric on the engine.
@@ -86,8 +110,39 @@ func MustFabric(eng *sim.Engine, cfg Config) *Fabric {
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
-// Stats returns traffic counters.
-func (f *Fabric) Stats() Stats { return f.stat }
+// Stats returns traffic counters (summed across shards in sharded mode).
+func (f *Fabric) Stats() Stats {
+	out := f.stat
+	for i := range f.shardStat {
+		out.add(f.shardStat[i])
+	}
+	return out
+}
+
+// BindNodeEngines switches the fabric to sharded mode: node i's messages
+// originate on engines[i]'s simulated clock and cross-node deliveries are
+// staged through the engines' shard group. Call once, before any traffic.
+// Jitter requires a single shared random stream, which a parallel run
+// cannot consume deterministically, so jittered configurations refuse to
+// bind — the cluster layer falls back to the serial engine instead.
+func (f *Fabric) BindNodeEngines(engines []*sim.Engine) {
+	if f.cfg.Jitter > 0 {
+		panic("network: BindNodeEngines with jitter enabled (jitter stream is execution-order dependent)")
+	}
+	if f.stat.Messages > 0 {
+		panic("network: BindNodeEngines after traffic started")
+	}
+	f.engines = engines
+	f.shardStat = make([]Stats, len(engines))
+}
+
+// engineFor returns the engine carrying node's sense of time.
+func (f *Fabric) engineFor(node int) *sim.Engine {
+	if f.engines == nil {
+		return f.eng
+	}
+	return f.engines[node]
+}
 
 // DeliveryTime computes when a message sent now arrives, without sending it.
 func (f *Fabric) DeliveryTime(srcNode, dstNode, size int) sim.Time {
@@ -100,21 +155,33 @@ func (f *Fabric) DeliveryTime(srcNode, dstNode, size int) sim.Time {
 	if f.cfg.BytesPerSecond > 0 && size > 0 {
 		lat += sim.Time(float64(size) / f.cfg.BytesPerSecond * float64(sim.Second))
 	}
-	return f.eng.Now() + lat
+	return f.engineFor(srcNode).Now() + lat
 }
 
 // Send schedules deliver to run when a size-byte message from srcNode
-// reaches dstNode.
+// reaches dstNode. In sharded mode a cross-node delivery is staged into the
+// destination shard's next-window inbox; the delivery time is at least
+// Lookahead past the source clock, which is exactly the shard group's
+// conservative guarantee.
 func (f *Fabric) Send(srcNode, dstNode, size int, deliver func()) {
 	if deliver == nil {
 		panic("network: Send with nil deliver")
 	}
-	f.stat.Messages++
-	f.stat.Bytes += uint64(size)
-	if srcNode == dstNode {
-		f.stat.LocalMessages++
+	st := &f.stat
+	if f.engines != nil {
+		st = &f.shardStat[srcNode]
 	}
-	f.eng.At(f.DeliveryTime(srcNode, dstNode, size), "msg", deliver)
+	st.Messages++
+	st.Bytes += uint64(size)
+	if srcNode == dstNode {
+		st.LocalMessages++
+	}
+	src := f.engineFor(srcNode)
+	dst := f.engineFor(dstNode)
+	if src != dst {
+		st.CrossShardSends++
+	}
+	src.ScheduleOn(dst, f.DeliveryTime(srcNode, dstNode, size), "msg", deliver)
 }
 
 // Clock is a time source as seen by one node. The co-scheduler aligns its

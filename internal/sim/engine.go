@@ -138,6 +138,12 @@ const (
 	// assert both cores fire identically, and benchmarks use it as the
 	// baseline.
 	CoreHeap
+	// CoreSharded requests the conservative time-window parallel core: one
+	// wheel-backed shard per cluster node, coordinated by a ShardGroup (see
+	// sharded.go). The selection is honored by cluster.Build, which knows
+	// the shard topology; a bare NewEngine call cannot shard a single queue
+	// and falls back to the timer wheel.
+	CoreSharded
 )
 
 // DefaultCore is the queue implementation NewEngine uses. Tests flip it to
@@ -168,6 +174,15 @@ type Engine struct {
 	heap    entryHeap // CoreHeap's single queue
 
 	wheel wheel // CoreWheel state
+
+	// Shard-group state (nil/zero outside a ShardGroup). Only the shard's
+	// owning worker goroutine touches the engine during a window; the
+	// coordinator touches it only between windows, so none of these fields
+	// need synchronization.
+	group     *ShardGroup
+	shard     int
+	windowEnd Time           // exclusive bound of the window being executed; 0 when idle
+	outbox    [][]crossEntry // staged cross-shard events, indexed by destination shard
 }
 
 // NewEngine returns an engine at time zero whose random streams derive from
@@ -393,6 +408,9 @@ func (e *Engine) Step() bool {
 // fired event's time (it does not jump to until). It returns the number of
 // events fired by this call.
 func (e *Engine) Run(until Time) uint64 {
+	if e.group != nil {
+		panic("sim: Run on a shard of a ShardGroup; drive the group with ShardGroup.Run")
+	}
 	start := e.fired
 	for !e.stopped {
 		when, ok := e.peekNext()
@@ -411,7 +429,75 @@ func (e *Engine) RunUntilIdle() uint64 { return e.Run(Forever) }
 // and Run calls do nothing until the engine is discarded; Stop is intended
 // for terminating a run once the measured workload completes, without
 // draining periodic daemon events that would otherwise run forever.
-func (e *Engine) Stop() { e.stopped = true }
+//
+// On a shard of a ShardGroup, Stop stops the whole group: every shard
+// still finishes the window in flight (so the stop point is independent of
+// worker scheduling), and the group's run loop exits at the next barrier.
+func (e *Engine) Stop() {
+	if e.group != nil {
+		e.group.Stop()
+		return
+	}
+	e.stopped = true
+}
 
 // Stopped reports whether Stop was called.
-func (e *Engine) Stopped() bool { return e.stopped }
+func (e *Engine) Stopped() bool {
+	if e.group != nil {
+		return e.group.Stopped()
+	}
+	return e.stopped
+}
+
+// ShardID returns this engine's shard index within its ShardGroup (0 for a
+// standalone engine).
+func (e *Engine) ShardID() int { return e.shard }
+
+// Group returns the coordinating ShardGroup, or nil for a standalone engine.
+func (e *Engine) Group() *ShardGroup { return e.group }
+
+// runWindow fires every pending event with when < end and reports how many
+// fired. It is the per-shard body of one conservative time window; the
+// ShardGroup guarantees no cross-shard event with when < end can still be
+// in flight when it is called.
+func (e *Engine) runWindow(end Time) int {
+	e.windowEnd = end
+	n := 0
+	for !e.stopped {
+		when, ok := e.peekNext()
+		if !ok || when >= end {
+			break
+		}
+		e.Step()
+		n++
+	}
+	e.windowEnd = 0
+	return n
+}
+
+// ScheduleOn schedules fn at time t on dst, which may be a different shard
+// of the same ShardGroup. For a standalone destination or dst == e it is
+// exactly dst.At. Across shards the event is staged in this shard's outbox
+// and merged into dst's queue at the window barrier; t must lie at or past
+// the current window's end (the conservative lookahead guarantee), which
+// holds for anything scheduled at least the group lookahead in the future.
+func (e *Engine) ScheduleOn(dst *Engine, t Time, label string, fn func()) {
+	if dst == e || e.group == nil || dst.group == nil {
+		dst.At(t, label, fn)
+		return
+	}
+	if dst.group != e.group {
+		panic("sim: ScheduleOn across different ShardGroups")
+	}
+	if e.windowEnd == 0 {
+		// Between windows (setup, teardown, or the serial coordinator
+		// phase): the destination queue is quiescent, schedule directly.
+		dst.At(t, label, fn)
+		return
+	}
+	if t < e.windowEnd {
+		panic(fmt.Sprintf("sim: cross-shard %q at %v inside the current window (end %v): below the group lookahead",
+			label, t, e.windowEnd))
+	}
+	e.outbox[dst.shard] = append(e.outbox[dst.shard], crossEntry{when: t, label: label, fn: fn})
+}

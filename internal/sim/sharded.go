@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// crossEntry is one event staged for another shard during a window. Entries
+// accumulate in the source shard's outbox in execution order and are merged
+// into the destination queue at the window barrier.
+type crossEntry struct {
+	when  Time
+	label string
+	fn    func()
+}
+
+// GroupStats counts a ShardGroup's window machinery. All fields except
+// BarrierStallNs are deterministic for a given simulation; BarrierStallNs
+// is wall-clock and diagnostic only.
+type GroupStats struct {
+	// Windows is the number of conservative time windows executed.
+	Windows uint64
+	// ParallelWindows counts windows dispatched to the worker pool (at
+	// least two shards had events; single-shard windows run inline).
+	ParallelWindows uint64
+	// ActiveShardWindows sums, over windows, the number of shards that had
+	// events inside the window — ActiveShardWindows/Windows is the mean
+	// available parallelism of the run.
+	ActiveShardWindows uint64
+	// CrossShardEvents is the number of events staged across shards and
+	// merged at window barriers.
+	CrossShardEvents uint64
+	// BarrierStallNs is wall-clock time worker goroutines spent waiting at
+	// window barriers while a slower shard finished (load imbalance).
+	BarrierStallNs int64
+}
+
+// ShardGroup coordinates per-node engine shards under conservative
+// time-window parallel execution. All shards share one seed, so any named
+// random stream drawn from any shard reproduces the serial engine's stream
+// exactly (streams are pure functions of seed and name).
+//
+// The execution model: every window starts at the globally earliest pending
+// event time T and spans [T, T+lookahead). Shards with events inside the
+// window execute concurrently on a bounded worker pool; events they
+// schedule for other shards are staged in per-destination outboxes, because
+// the lookahead (the fabric's minimum cross-node delivery latency)
+// guarantees those events land at or beyond the window end. At the barrier
+// the coordinator merges each destination's staged entries in (when,
+// source-shard, staging-order) order, drawing destination sequence numbers
+// in that canonical order — so the merged queue state, and therefore the
+// whole simulation, is identical at any worker count, including one.
+type ShardGroup struct {
+	shards    []*Engine
+	lookahead Time
+	workers   int
+
+	stopped atomic.Bool
+	stats   GroupStats
+
+	batch []crossEntry // merge scratch, reused across barriers
+}
+
+// NewShardGroup builds n wheel-backed engine shards sharing seed, executed
+// by up to workers goroutines per window. lookahead is the conservative
+// window length: the model must guarantee every cross-shard event is
+// scheduled at least lookahead past the scheduling shard's current time.
+func NewShardGroup(seed int64, n, workers int, lookahead Time) *ShardGroup {
+	if n <= 0 {
+		panic("sim: ShardGroup needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: ShardGroup lookahead must be positive, got %v", lookahead))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	g := &ShardGroup{lookahead: lookahead, workers: workers}
+	g.shards = make([]*Engine, n)
+	for i := range g.shards {
+		e := NewEngineWithCore(seed, CoreWheel)
+		e.group = g
+		e.shard = i
+		e.outbox = make([][]crossEntry, n)
+		g.shards[i] = e
+	}
+	return g
+}
+
+// Shard returns shard i's engine. Model components owned by node i must
+// schedule exclusively through this engine.
+func (g *ShardGroup) Shard(i int) *Engine { return g.shards[i] }
+
+// Shards returns the shard count.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Workers returns the worker budget windows are executed with.
+func (g *ShardGroup) Workers() int { return g.workers }
+
+// Lookahead returns the conservative window length.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Stats returns the window-machinery counters. Call between or after runs.
+func (g *ShardGroup) Stats() GroupStats { return g.stats }
+
+// Fired sums events fired across all shards.
+func (g *ShardGroup) Fired() uint64 {
+	var n uint64
+	for _, sh := range g.shards {
+		n += sh.fired
+	}
+	return n
+}
+
+// Pending sums pending events across all shards.
+func (g *ShardGroup) Pending() int {
+	n := 0
+	for _, sh := range g.shards {
+		n += sh.live
+	}
+	return n
+}
+
+// Stop ends the run at the next window barrier. Safe to call from event
+// callbacks on any shard; the window in flight always completes, so the
+// simulation state at exit does not depend on worker scheduling.
+func (g *ShardGroup) Stop() { g.stopped.Store(true) }
+
+// Stopped reports whether Stop was called.
+func (g *ShardGroup) Stopped() bool { return g.stopped.Load() }
+
+// nextWindow computes the next window [start, end) covering events with
+// when <= until. ok is false when no such window exists.
+func (g *ShardGroup) nextWindow(until Time) (start, end Time, ok bool) {
+	found := false
+	for _, sh := range g.shards {
+		if w, has := sh.peekNext(); has && (!found || w < start) {
+			start, found = w, true
+		}
+	}
+	if !found || start > until {
+		return 0, 0, false
+	}
+	limit := Forever
+	if until < Forever-1 {
+		limit = until + 1 // Run semantics: fire events with when <= until
+	}
+	end = start + g.lookahead
+	if end <= start || end > limit {
+		end = limit
+	}
+	return start, end, true
+}
+
+// Run executes events until every queue is empty, the group is stopped, or
+// the next event lies strictly after until. It returns the number of events
+// fired by this call. Run must only be called from one goroutine at a time.
+func (g *ShardGroup) Run(until Time) uint64 {
+	startFired := g.Fired()
+	active := make([]*Engine, 0, len(g.shards))
+	collect := func(end Time) []*Engine {
+		active = active[:0]
+		for _, sh := range g.shards {
+			if w, has := sh.peekNext(); has && w < end {
+				active = append(active, sh)
+			}
+		}
+		return active
+	}
+
+	if g.workers <= 1 || len(g.shards) == 1 {
+		// Serial windowed execution: same window/merge discipline, no
+		// goroutines. This is also the differential reference for the
+		// parallel path.
+		for !g.stopped.Load() {
+			_, end, ok := g.nextWindow(until)
+			if !ok {
+				break
+			}
+			act := collect(end)
+			for _, sh := range act {
+				sh.runWindow(end)
+			}
+			g.stats.ActiveShardWindows += uint64(len(act))
+			g.mergeOutboxes()
+			g.stats.Windows++
+		}
+		return g.Fired() - startFired
+	}
+
+	w := g.workers
+	if w > len(g.shards) {
+		w = len(g.shards)
+	}
+	jobs := make(chan *Engine, len(g.shards))
+	defer close(jobs)
+	var wg sync.WaitGroup
+	var busyNs atomic.Int64
+	var end Time // written by the coordinator before dispatch; the channel send orders it
+	for i := 0; i < w; i++ {
+		go func() {
+			for sh := range jobs {
+				t0 := time.Now()
+				sh.runWindow(end)
+				busyNs.Add(time.Since(t0).Nanoseconds())
+				wg.Done()
+			}
+		}()
+	}
+	for !g.stopped.Load() {
+		var ok bool
+		_, end, ok = g.nextWindow(until)
+		if !ok {
+			break
+		}
+		act := collect(end)
+		if len(act) == 1 {
+			act[0].runWindow(end)
+		} else {
+			t0 := time.Now()
+			busyNs.Store(0)
+			wg.Add(len(act))
+			for _, sh := range act {
+				jobs <- sh
+			}
+			wg.Wait()
+			wall := time.Since(t0).Nanoseconds()
+			slots := int64(w)
+			if int64(len(act)) < slots {
+				slots = int64(len(act))
+			}
+			if stall := slots*wall - busyNs.Load(); stall > 0 {
+				g.stats.BarrierStallNs += stall
+			}
+			g.stats.ParallelWindows++
+		}
+		g.stats.ActiveShardWindows += uint64(len(act))
+		g.mergeOutboxes()
+		g.stats.Windows++
+	}
+	return g.Fired() - startFired
+}
+
+// RunUntilIdle executes events until none remain or the group is stopped.
+func (g *ShardGroup) RunUntilIdle() uint64 { return g.Run(Forever) }
+
+// mergeOutboxes drains every shard's staged cross-shard events into the
+// destination queues. For each destination the entries are ordered by
+// (when, source shard, staging order) — the stable sort keys only on when,
+// and concatenation in shard order supplies the rest — and destination
+// sequence numbers are drawn in that order, making the merged queue state
+// independent of worker scheduling.
+func (g *ShardGroup) mergeOutboxes() {
+	for di, dst := range g.shards {
+		b := g.batch[:0]
+		for _, src := range g.shards {
+			ob := src.outbox[di]
+			if len(ob) == 0 {
+				continue
+			}
+			b = append(b, ob...)
+			for k := range ob {
+				ob[k] = crossEntry{} // release the closure references
+			}
+			src.outbox[di] = ob[:0]
+		}
+		if len(b) == 0 {
+			g.batch = b
+			continue
+		}
+		sort.SliceStable(b, func(i, j int) bool { return b[i].when < b[j].when })
+		for _, ce := range b {
+			dst.At(ce.when, ce.label, ce.fn)
+		}
+		g.stats.CrossShardEvents += uint64(len(b))
+		for k := range b {
+			b[k] = crossEntry{}
+		}
+		g.batch = b[:0]
+	}
+}

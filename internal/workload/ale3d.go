@@ -102,6 +102,13 @@ func RunALE3D(c *cluster.Cluster, spec ALE3DSpec, horizon sim.Time) (ALE3DResult
 	if len(c.IO) == 0 {
 		return ALE3DResult{}, fmt.Errorf("workload: ale3d requires a cluster with GPFS enabled")
 	}
+	if c.Group != nil {
+		// Every rank draws from one shared imbalance stream at run time, in
+		// global execution order — inherently serial. (Per-rank streams
+		// would fix this but change the sampled sequences, breaking
+		// bit-compatibility with the seed outputs; see ROADMAP open items.)
+		return ALE3DResult{}, fmt.Errorf("workload: ale3d requires the serial engine (shared imbalance stream); build without IntraRunWorkers")
+	}
 	res := ALE3DResult{}
 	rng := c.Eng.Rand("ale3d-imbalance")
 	svcFor := func(r *mpi.Rank) *gpfs.Service { return c.IO[r.Node().ID()] }

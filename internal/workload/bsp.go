@@ -53,6 +53,10 @@ func RunBSP(c *cluster.Cluster, spec BSPSpec, horizon sim.Time) (BSPResult, erro
 	if err := spec.Validate(); err != nil {
 		return BSPResult{}, err
 	}
+	if c.Group != nil {
+		// Same constraint as RunALE3D: one shared runtime imbalance stream.
+		return BSPResult{}, fmt.Errorf("workload: bsp requires the serial engine (shared imbalance stream); build without IntraRunWorkers")
+	}
 	res := BSPResult{}
 	rng := c.Eng.Rand("bsp-imbalance")
 	var inColl sim.Time
