@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine bench-pdes bench-check profile check
+.PHONY: build test vet race race-sharded bench bench-engine bench-pdes bench-check profile check
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ vet:
 # change must pass the race detector, not just the plain test run.
 race:
 	$(GO) test -race ./...
+
+# race-sharded re-runs the sharded-engine differential tests under the race
+# detector at two scheduler widths. GOMAXPROCS changes how shard worker
+# goroutines interleave, so both widths must stay clean AND bit-identical —
+# the tests themselves compare sharded output against the serial engine.
+race-sharded:
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Shard|BitIdentical' ./internal/sim/ ./internal/cluster/ ./internal/workload/ ./internal/experiment/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'Shard|BitIdentical' ./internal/sim/ ./internal/cluster/ ./internal/workload/ ./internal/experiment/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -39,9 +47,10 @@ bench-pdes:
 
 # bench-check is the CI perf guard: re-measure the two acceptance scenarios
 # wheel-only and fail if either loses more than 25% events/s against the
-# committed results/bench_engine.json.
+# committed results/bench_engine.json; then guard the serial throughput of
+# the pdes scenarios (plain and jittered) against results/bench_pdes.json.
 bench-check:
-	$(GO) run ./cmd/enginebench -mode check -against results/bench_engine.json
+	$(GO) run ./cmd/enginebench -mode check -against results/bench_engine.json -pdes-against results/bench_pdes.json
 
 # profile runs a representative sweep under the CPU and allocation profilers
 # and prints the top CPU consumers. Inspect interactively with
@@ -53,4 +62,4 @@ profile:
 	./profiles/parsim $(PROFILE_ARGS) -cpuprofile profiles/parsim.cpu -memprofile profiles/parsim.mem > /dev/null
 	$(GO) tool pprof -top -nodecount 25 profiles/parsim profiles/parsim.cpu
 
-check: vet test race
+check: vet test race race-sharded

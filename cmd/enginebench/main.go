@@ -21,7 +21,9 @@
 //
 // Check mode is the CI perf guard: it re-measures the two acceptance
 // scenarios wheel-only and fails (exit 1) if either regresses more than
-// -tolerance against the committed bench_engine.json.
+// -tolerance against the committed bench_engine.json. With -pdes-against it
+// additionally guards the serial throughput of the 8-node pdes scenario and
+// its jittered variant against the committed bench_pdes.json.
 package main
 
 import (
@@ -251,11 +253,16 @@ type pdesReport struct {
 }
 
 // pdesScenario is a full-cluster simulation sized for the sharded core.
+// Jitter adds fabric-transit randomness; ale3d swaps the aggregate
+// benchmark for the ALE3D proxy (GPFS I/O, checkpoints). Both were
+// serial-only before counter-based RNG streams made them shard-safe.
 type pdesScenario struct {
 	name   string
 	detail string
 	nodes  int
 	calls  int
+	jitter sim.Time
+	ale3d  bool
 }
 
 func pdesScenarios() []pdesScenario {
@@ -272,7 +279,58 @@ func pdesScenarios() []pdesScenario {
 				"16 CPUs = 944 CPUs",
 			nodes: 59, calls: 64,
 		},
+		{
+			name: "pdes-jitter-8",
+			detail: "the 8-node scenario with 2us switch-transit jitter: every " +
+				"message draws from a counter-keyed per-(src,dst,msg) stream",
+			nodes: 8, calls: 128, jitter: 2 * coschedsim.Microsecond,
+		},
+		{
+			name: "pdes-ale3d-8",
+			detail: "the ALE3D proxy (30 timesteps, GPFS restart dumps) on 8 " +
+				"nodes x 16 CPUs, sharded via per-(rank,step) imbalance streams",
+			nodes: 8, ale3d: true,
+		},
 	}
+}
+
+// pdesConfig builds the scenario's cluster config for one benchmark rep.
+func pdesConfig(s pdesScenario, workers int, seed int64) coschedsim.Config {
+	var cfg coschedsim.Config
+	if s.ale3d {
+		cfg = coschedsim.ALE3DVanilla(s.nodes, 16, seed)
+	} else {
+		cfg = coschedsim.Vanilla(s.nodes, 16, seed)
+	}
+	cfg.Network.Jitter = s.jitter
+	cfg.IntraRunWorkers = workers
+	return cfg
+}
+
+// pdesALE3DSpec sizes the ALE3D proxy for a benchmark rep.
+func pdesALE3DSpec() coschedsim.ALE3DSpec {
+	spec := coschedsim.DefaultALE3DSpec()
+	spec.Timesteps = 30
+	spec.CheckpointEvery = 10
+	return spec
+}
+
+// pdesRun executes one rep of the scenario on an already-built cluster.
+func pdesRun(s pdesScenario, c *coschedsim.Cluster) error {
+	if s.ale3d {
+		res, err := coschedsim.RunALE3D(c, pdesALE3DSpec(), coschedsim.Hour)
+		if err == nil && !res.Completed {
+			err = fmt.Errorf("ale3d did not complete")
+		}
+		return err
+	}
+	res, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
+		Loops: 1, CallsPerLoop: s.calls,
+	}, coschedsim.Hour)
+	if err == nil && !res.Completed {
+		err = fmt.Errorf("aggregate did not complete")
+	}
+	return err
 }
 
 // pdesBody builds a benchmark body running the scenario with the given
@@ -281,13 +339,8 @@ func pdesBody(s pdesScenario, workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		var fired uint64
 		for i := 0; i < b.N; i++ {
-			cfg := coschedsim.Vanilla(s.nodes, 16, int64(i+1))
-			cfg.IntraRunWorkers = workers
-			c := coschedsim.MustBuild(cfg)
-			res, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
-				Loops: 1, CallsPerLoop: s.calls,
-			}, coschedsim.Hour)
-			if err != nil || !res.Completed {
+			c := coschedsim.MustBuild(pdesConfig(s, workers, int64(i+1)))
+			if err := pdesRun(s, c); err != nil {
 				b.Fatal(err)
 			}
 			if c.Group != nil {
@@ -303,12 +356,8 @@ func pdesBody(s pdesScenario, workers int) func(b *testing.B) {
 // pdesStats runs the scenario once sharded to collect its deterministic
 // window statistics (identical at any worker count, so one run suffices).
 func pdesStats(s pdesScenario, workers int) (sim.GroupStats, float64) {
-	cfg := coschedsim.Vanilla(s.nodes, 16, 1)
-	cfg.IntraRunWorkers = workers
-	c := coschedsim.MustBuild(cfg)
-	if _, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
-		Loops: 1, CallsPerLoop: s.calls,
-	}, coschedsim.Hour); err != nil || c.Group == nil {
+	c := coschedsim.MustBuild(pdesConfig(s, workers, 1))
+	if err := pdesRun(s, c); err != nil || c.Group == nil {
 		return sim.GroupStats{}, 0
 	}
 	gs := c.Group.Stats()
@@ -417,6 +466,51 @@ func runCheck(against string, reps int, tolerance float64) {
 	fmt.Fprintln(os.Stderr, "perf check passed")
 }
 
+// runPDESCheck extends the perf guard to the sharded-core scenarios: the
+// 8-node cluster and its jittered variant (the jitter path is new RNG work
+// on every message, so a regression there is exactly what the counter-based
+// stream refactor could introduce). Serial wheel throughput is compared
+// against the committed bench_pdes.json.
+func runPDESCheck(against string, reps int, tolerance float64) {
+	buf, err := os.ReadFile(against)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench: -pdes-against:", err)
+		os.Exit(1)
+	}
+	var committed pdesReport
+	if err := json.Unmarshal(buf, &committed); err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench: -pdes-against:", err)
+		os.Exit(1)
+	}
+	want := map[string]measurement{}
+	for _, c := range committed.Scenarios {
+		want[c.Name] = c.Serial
+	}
+	guarded := map[string]bool{"pdes-cluster-8": true, "pdes-jitter-8": true}
+	failed := false
+	for _, s := range pdesScenarios() {
+		ref, ok := want[s.name]
+		if !ok || ref.EventsPerSec <= 0 || !guarded[s.name] {
+			continue
+		}
+		got := measure(scenario{name: s.name, run: pdesBody(s, 0)}, sim.CoreWheel, reps)
+		ratio := got.EventsPerSec / ref.EventsPerSec
+		status := "ok"
+		if ratio < 1-tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "%-18s %.3gM ev/s vs committed %.3gM ev/s (%.2fx) %s\n",
+			s.name, got.EventsPerSec/1e6, ref.EventsPerSec/1e6, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "enginebench: pdes throughput regressed more than %.0f%% vs %s\n",
+			tolerance*100, against)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "pdes perf check passed")
+}
+
 // writeJSON marshals v and writes it to path ("-" for stdout).
 func writeJSON(path string, v any) {
 	buf, err := json.MarshalIndent(v, "", "  ")
@@ -442,6 +536,7 @@ func main() {
 	reps := flag.Int("reps", 3, "benchmark repetitions per scenario per core (best run is kept)")
 	basePath := flag.String("baseline", "", "pre-change baseline JSON to merge in (see results/bench_baseline.json)")
 	against := flag.String("against", "results/bench_engine.json", "committed report for -mode check")
+	pdesAgainst := flag.String("pdes-against", "", "committed bench_pdes.json for -mode check (empty: skip the pdes guard)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional events/s regression for -mode check")
 	flag.Parse()
 	debug.SetGCPercent(800) // match parsim's production GC setting
@@ -455,6 +550,9 @@ func main() {
 		return
 	case "check":
 		runCheck(*against, *reps, *tolerance)
+		if *pdesAgainst != "" {
+			runPDESCheck(*pdesAgainst, *reps, *tolerance)
+		}
 		return
 	case "engine":
 		if *out == "" {

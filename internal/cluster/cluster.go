@@ -51,16 +51,27 @@ type Config struct {
 	GPFS *gpfs.Config
 
 	// IntraRunWorkers > 1 runs this cluster on the sharded parallel engine
-	// core (sim.CoreSharded): one event shard per node, executed window by
-	// window on that many worker goroutines, with the fabric latency as
-	// conservative lookahead. 0 and 1 select the serial engine. The value
-	// is a worker budget for this single run; the experiment harness
-	// divides the sweep-level budget by it so sweep x intra-run workers
-	// never exceeds the -procs total. Configurations the sharded core
-	// cannot execute deterministically (jitter, hardware collectives,
-	// single node) silently fall back to the serial engine — outputs are
-	// bit-identical either way, only wall clock differs.
+	// core (sim.CoreSharded): nodes are mapped onto event shards (see
+	// ShardNodeGroup), executed window by window on that many worker
+	// goroutines, with the fabric latency as conservative lookahead. 0 and
+	// 1 select the serial engine. The value is a worker budget for this
+	// single run; the experiment harness divides the sweep-level budget by
+	// it so sweep x intra-run workers never exceeds the -procs total.
+	// Configurations the sharded core cannot execute deterministically
+	// (hardware collectives, single node) silently fall back to the serial
+	// engine — outputs are bit-identical either way, only wall clock
+	// differs. Jitter and workload imbalance draw from counter-based
+	// streams (pure functions of identity) and are fully shard-safe.
 	IntraRunWorkers int
+
+	// ShardNodeGroup maps several nodes onto one engine shard under the
+	// sharded core: shard count = ceil(Nodes/ShardNodeGroup). 0 picks the
+	// group size automatically from IntraRunWorkers vs node count (about
+	// four shards per worker, so per-window dispatch overhead stays small
+	// at high node counts); 1 pins the one-shard-per-node layout. Outputs
+	// are bit-identical at any group size — the cross-shard merge order is
+	// canonical — only wall clock changes.
+	ShardNodeGroup int
 
 	Seed int64
 }
@@ -76,6 +87,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: TasksPerNode %d must be in 1..%d", c.TasksPerNode, c.CPUsPerNode)
 	case !c.SyncClocks && c.ClockSkew < 0:
 		return fmt.Errorf("cluster: negative clock skew")
+	case c.ShardNodeGroup < 0:
+		return fmt.Errorf("cluster: negative ShardNodeGroup")
 	}
 	if c.Kernel.NumCPUs != c.CPUsPerNode {
 		return fmt.Errorf("cluster: Kernel.NumCPUs %d != CPUsPerNode %d", c.Kernel.NumCPUs, c.CPUsPerNode)
@@ -117,18 +130,52 @@ type Cluster struct {
 	Sched  *cosched.Scheduler
 	IO     []*gpfs.Service
 	Job    *mpi.Job
+
+	// groupSize is the nodes-per-shard mapping factor (node i lives on
+	// shard i/groupSize); 1 when Group is nil.
+	groupSize int
 }
 
 // shardable reports whether the configuration can run on the sharded core
-// with bit-identical results. Jitter draws from one shared random stream in
-// fabric send order; hardware collectives funnel every rank through one
-// combine accumulator; both are inherently serial. A single node has
-// nothing to shard, and a zero fabric latency gives no lookahead.
+// with bit-identical results. Hardware collectives funnel every rank
+// through one combine accumulator in arrival order — inherently serial. A
+// single node has nothing to shard, and a zero fabric latency gives no
+// lookahead. Network jitter and workload imbalance draw from counter-based
+// streams (pure functions of identity, not execution order) and so no
+// longer gate sharding.
 func shardable(cfg Config) bool {
 	return cfg.Nodes > 1 &&
-		cfg.Network.Jitter == 0 &&
 		cfg.Network.Lookahead() > 0 &&
 		!cfg.MPI.HardwareCollectives
+}
+
+// autoShardGroup picks nodes-per-shard so that roughly four shards exist
+// per worker: enough width to balance windows across the pool without
+// paying per-shard dispatch overhead for dozens of mostly-idle shards at
+// high node counts.
+func autoShardGroup(nodes, workers int) int {
+	g := nodes / (4 * workers)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// ShardOf returns the engine-shard index carrying node i (0 on the serial
+// engine).
+func (c *Cluster) ShardOf(i int) int {
+	if c.Group == nil {
+		return 0
+	}
+	return i / c.groupSize
+}
+
+// shardEngine returns the engine node i schedules on.
+func (c *Cluster) shardEngine(i int) *sim.Engine {
+	if c.Group == nil {
+		return c.Eng
+	}
+	return c.Group.Shard(i / c.groupSize)
 }
 
 // Build constructs the cluster. The job is created with one rank per task
@@ -137,15 +184,25 @@ func Build(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{Config: cfg}
+	c := &Cluster{Config: cfg, groupSize: 1}
 	if (cfg.IntraRunWorkers > 1 || sim.DefaultCore == sim.CoreSharded) && shardable(cfg) {
 		workers := cfg.IntraRunWorkers
 		if workers < 1 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		c.Group = sim.NewShardGroup(cfg.Seed, cfg.Nodes, workers, cfg.Network.Lookahead())
-		c.Eng = c.Group.Shard(0)
-	} else {
+		group := cfg.ShardNodeGroup
+		if group < 1 {
+			group = autoShardGroup(cfg.Nodes, workers)
+		}
+		if shards := (cfg.Nodes + group - 1) / group; shards > 1 {
+			c.Group = sim.NewShardGroup(cfg.Seed, shards, workers, cfg.Network.Lookahead())
+			c.groupSize = group
+			c.Eng = c.Group.Shard(0)
+		}
+	}
+	if c.Eng == nil {
+		// Serial engine: unshardable config, or grouping collapsed every
+		// node onto one shard.
 		c.Eng = sim.NewEngine(cfg.Seed)
 	}
 	var err error
@@ -156,7 +213,7 @@ func Build(cfg Config) (*Cluster, error) {
 	if c.Group != nil {
 		engines := make([]*sim.Engine, cfg.Nodes)
 		for i := range engines {
-			engines[i] = c.Group.Shard(i)
+			engines[i] = c.shardEngine(i)
 		}
 		c.Fabric.BindNodeEngines(engines)
 	}
@@ -167,7 +224,6 @@ func Build(cfg Config) (*Cluster, error) {
 		}
 	}
 
-	skewRNG := c.Eng.Rand("clock-skew")
 	noiseCfg := cfg.Noise
 	if cfg.GPFS != nil {
 		noiseCfg.Daemons = dropDaemon(noiseCfg.Daemons, "mmfsd")
@@ -177,10 +233,7 @@ func Build(cfg Config) (*Cluster, error) {
 		opts := cfg.Kernel
 		// Everything owned by node i — kernel, clock, noise, GPFS — lives
 		// on node i's engine shard (the shared engine when not sharded).
-		eng := c.Eng
-		if c.Group != nil {
-			eng = c.Group.Shard(i)
-		}
+		eng := c.shardEngine(i)
 		var clock network.Clock
 		if cfg.SyncClocks {
 			opts.Phase = 0
@@ -190,6 +243,9 @@ func Build(cfg Config) (*Cluster, error) {
 			if skew <= 0 {
 				skew = 500 * sim.Millisecond
 			}
+			// Per-node counter stream: node i's skew is a pure function
+			// of (seed, i), not of the node-construction order.
+			skewRNG := eng.CounterRand("clock-skew", uint64(i))
 			off := skewRNG.Duration(skew + 1)
 			opts.Phase = off % opts.EffectiveTick()
 			clock = network.NewLocalClock(eng, off)

@@ -417,6 +417,54 @@ func AblationGangScheduler(o Options) (*Table, error) {
 	return t, nil
 }
 
+// AblationNetworkJitter sweeps switch-transit jitter on the vanilla and
+// prototype kernels. The paper treats the SP switch as essentially
+// deterministic and pins all variability on the OS; this ablation checks how
+// much fabric-side variance it would take to drown the co-scheduling win.
+// Jitter draws are counter-keyed per (src, dst, message), so this sweep runs
+// sharded under ShardWorkers like every other ablation.
+func AblationNetworkJitter(o Options) (*Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	nodes := ablationNodes(o)
+	t := &Table{
+		ID:    "ABL10",
+		Title: fmt.Sprintf("Network-jitter sweep, %d procs, vanilla vs prototype", nodes*16),
+		Cols: []Column{
+			{Name: "jitter", Unit: "us"}, {Name: "van-mean", Unit: "us"}, {Name: "van-sd", Unit: "us"},
+			{Name: "proto-mean", Unit: "us"}, {Name: "proto-sd", Unit: "us"},
+		},
+	}
+	jitters := []sim.Time{0, sim.Microsecond, 5 * sim.Microsecond, 20 * sim.Microsecond}
+	variants := make([]variantSpec, 0, 2*len(jitters))
+	for _, j := range jitters {
+		j := j
+		variants = append(variants,
+			variantSpec{fmt.Sprintf("vanilla j=%v", j), func(seed int64) cluster.Config {
+				cfg := cluster.Vanilla(nodes, 16, seed)
+				cfg.Network.Jitter = j
+				return cfg
+			}},
+			variantSpec{fmt.Sprintf("prototype j=%v", j), func(seed int64) cluster.Config {
+				cfg := cluster.Prototype(nodes, 16, seed)
+				cfg.Network.Jitter = j
+				return cfg
+			}})
+	}
+	ms, err := runVariantMeans(o, "abl-jitter", nodes, variants)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jitters {
+		van, proto := ms[2*i], ms[2*i+1]
+		t.AddRow("", j.Micros(), van.mean, van.stddev, proto.mean, proto.stddev)
+		o.progress("abl-jitter j=%v vanilla=%.1fus prototype=%.1fus", j, van.mean, proto.mean)
+	}
+	t.AddNote("paper: the SP switch itself is treated as deterministic; OS noise, not fabric jitter, drives Allreduce variability")
+	return t, nil
+}
+
 // AblationFairShare operationalizes the paper's distinction from
 // related-work category 3: fair-share scheduling (AIX usage decay)
 // optimizes machine-wide fairness, not the parallel job's turnaround. The

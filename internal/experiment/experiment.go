@@ -158,6 +158,7 @@ func Registry() []Runner {
 		{"abl-ticks", "Ablation: staggered vs aligned tick interrupts", AblationTickAlignment},
 		{"abl-hints", "Extension: fine-grain region hints (paper §7 future work)", AblationFineGrainHints},
 		{"abl-hwcoll", "Extension: hardware-assisted collectives (paper §7 future work)", AblationHardwareCollectives},
+		{"abl-jitter", "Ablation: switch-transit jitter sweep, vanilla vs prototype", AblationNetworkJitter},
 		{"abl-gang", "Baseline: coarse-quantum gang scheduler (paper §6 category 1)", AblationGangScheduler},
 		{"abl-fairshare", "Baseline: fair-share usage decay (paper §6 category 3)", AblationFairShare},
 	}

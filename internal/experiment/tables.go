@@ -123,8 +123,12 @@ func T3ALE3D(o Options) (*Table, error) {
 		{"cosched-tuned", cluster.ALE3DTuned(nodes, 16, o.BaseSeed)},
 	}
 	op := o.withSafeProgress()
+	shard := o.shardWorkers()
 	outs, err := parallel.Map(op.workers(), len(scens), func(i int) (workload.ALE3DResult, error) {
 		sc := scens[i]
+		if shard > 1 {
+			sc.cfg.IntraRunWorkers = shard
+		}
 		c, err := cluster.Build(sc.cfg)
 		if err != nil {
 			return workload.ALE3DResult{}, err
@@ -255,9 +259,13 @@ func T5AllreduceFraction(o Options) (*Table, error) {
 		wall  sim.Time
 	}
 	op := o.withSafeProgress()
+	shard := o.shardWorkers()
 	outs, err := parallel.Map(op.workers(), len(sweep), func(i int) (bspOut, error) {
 		nodes := sweep[i]
 		cfg := cluster.Vanilla(nodes, 16, op.BaseSeed+int64(nodes))
+		if shard > 1 {
+			cfg.IntraRunWorkers = shard
+		}
 		c, err := cluster.Build(cfg)
 		if err != nil {
 			return bspOut{}, err

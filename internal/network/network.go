@@ -80,7 +80,7 @@ func (s *Stats) add(o Stats) {
 type Fabric struct {
 	eng  *sim.Engine
 	cfg  Config
-	rng  *sim.Rand
+	src  *sim.Source
 	stat Stats
 
 	// Sharded mode (BindNodeEngines): per-node engines and per-node
@@ -88,6 +88,14 @@ type Fabric struct {
 	// never write the same word; Stats sums them.
 	engines   []*sim.Engine
 	shardStat []Stats
+
+	// jitterIdx[src][dst] counts inter-node messages per ordered pair; the
+	// index is part of the per-message jitter key, making each message's
+	// jitter a pure function of (seed, src, dst, message number) rather
+	// than of global send order. Rows are grown lazily on the serial
+	// engine and pre-sized in BindNodeEngines so shard workers only ever
+	// touch rows owned by their own source nodes. nil while Jitter == 0.
+	jitterIdx [][]uint64
 }
 
 // NewFabric builds a fabric on the engine.
@@ -95,7 +103,7 @@ func NewFabric(eng *sim.Engine, cfg Config) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Fabric{eng: eng, cfg: cfg, rng: eng.Rand("network")}, nil
+	return &Fabric{eng: eng, cfg: cfg, src: eng.Source()}, nil
 }
 
 // MustFabric is NewFabric for static configurations.
@@ -122,18 +130,23 @@ func (f *Fabric) Stats() Stats {
 // BindNodeEngines switches the fabric to sharded mode: node i's messages
 // originate on engines[i]'s simulated clock and cross-node deliveries are
 // staged through the engines' shard group. Call once, before any traffic.
-// Jitter requires a single shared random stream, which a parallel run
-// cannot consume deterministically, so jittered configurations refuse to
-// bind — the cluster layer falls back to the serial engine instead.
+// Jitter is shard-safe: each message's jitter is keyed by (src, dst,
+// per-pair message index), so the values are independent of the order in
+// which shards execute their sends.
 func (f *Fabric) BindNodeEngines(engines []*sim.Engine) {
-	if f.cfg.Jitter > 0 {
-		panic("network: BindNodeEngines with jitter enabled (jitter stream is execution-order dependent)")
-	}
 	if f.stat.Messages > 0 {
 		panic("network: BindNodeEngines after traffic started")
 	}
 	f.engines = engines
 	f.shardStat = make([]Stats, len(engines))
+	if f.cfg.Jitter > 0 {
+		// Pre-size the per-pair message counters so shard workers never
+		// grow a shared slice concurrently.
+		f.jitterIdx = make([][]uint64, len(engines))
+		for i := range f.jitterIdx {
+			f.jitterIdx[i] = make([]uint64, len(engines))
+		}
+	}
 }
 
 // engineFor returns the engine carrying node's sense of time.
@@ -144,13 +157,49 @@ func (f *Fabric) engineFor(node int) *sim.Engine {
 	return f.engines[node]
 }
 
-// DeliveryTime computes when a message sent now arrives, without sending it.
+// JitterFor returns the jitter term of inter-node message number idx from
+// srcNode to dstNode: a pure function of (seed, src, dst, idx), replayable
+// in isolation from any run state.
+func (f *Fabric) JitterFor(srcNode, dstNode int, idx uint64) sim.Time {
+	cr := f.src.CounterRand("net-jitter", uint64(srcNode), uint64(dstNode), idx)
+	return cr.Duration(f.cfg.Jitter + 1)
+}
+
+// pairIdx returns the number of inter-node messages sent so far from
+// srcNode to dstNode — the identity index of the *next* message.
+func (f *Fabric) pairIdx(srcNode, dstNode int) uint64 {
+	if srcNode < len(f.jitterIdx) {
+		if row := f.jitterIdx[srcNode]; dstNode < len(row) {
+			return row[dstNode]
+		}
+	}
+	return 0
+}
+
+// bumpPair advances the per-pair message counter. On the serial engine the
+// slices grow on demand; in sharded mode they were pre-sized at bind time
+// and row srcNode is only ever touched by the shard that owns srcNode.
+func (f *Fabric) bumpPair(srcNode, dstNode int) {
+	for srcNode >= len(f.jitterIdx) {
+		f.jitterIdx = append(f.jitterIdx, nil)
+	}
+	row := f.jitterIdx[srcNode]
+	for dstNode >= len(row) {
+		row = append(row, 0)
+	}
+	row[dstNode]++
+	f.jitterIdx[srcNode] = row
+}
+
+// DeliveryTime computes when a message sent now arrives, without sending
+// it: it reads (but does not consume) the next per-pair message index, so
+// a prediction followed by the Send it predicts yields the same time.
 func (f *Fabric) DeliveryTime(srcNode, dstNode, size int) sim.Time {
 	lat := f.cfg.Latency
 	if srcNode == dstNode {
 		lat = f.cfg.LocalLatency
 	} else if f.cfg.Jitter > 0 {
-		lat += f.rng.Duration(f.cfg.Jitter + 1)
+		lat += f.JitterFor(srcNode, dstNode, f.pairIdx(srcNode, dstNode))
 	}
 	if f.cfg.BytesPerSecond > 0 && size > 0 {
 		lat += sim.Time(float64(size) / f.cfg.BytesPerSecond * float64(sim.Second))
@@ -181,7 +230,11 @@ func (f *Fabric) Send(srcNode, dstNode, size int, deliver func()) {
 	if src != dst {
 		st.CrossShardSends++
 	}
-	src.ScheduleOn(dst, f.DeliveryTime(srcNode, dstNode, size), "msg", deliver)
+	when := f.DeliveryTime(srcNode, dstNode, size)
+	if f.cfg.Jitter > 0 && srcNode != dstNode {
+		f.bumpPair(srcNode, dstNode)
+	}
+	src.ScheduleOn(dst, when, "msg", deliver)
 }
 
 // Clock is a time source as seen by one node. The co-scheduler aligns its

@@ -175,13 +175,90 @@ func TestLocalClockOffsetAndStep(t *testing.T) {
 }
 
 func TestDeliveryTimeMatchesSend(t *testing.T) {
-	cfg := Config{Latency: 7 * sim.Microsecond, BytesPerSecond: 1e9}
-	eng, f := testFabric(t, cfg)
-	predicted := f.DeliveryTime(0, 1, 1000)
-	var actual sim.Time
-	f.Send(0, 1, 1000, func() { actual = eng.Now() })
+	cfgs := []Config{
+		{Latency: 7 * sim.Microsecond, BytesPerSecond: 1e9},
+		// With jitter, DeliveryTime peeks the next per-pair message index
+		// without consuming it, so predict-then-send must still agree.
+		{Latency: 7 * sim.Microsecond, BytesPerSecond: 1e9, Jitter: 5 * sim.Microsecond},
+	}
+	for i, cfg := range cfgs {
+		eng, f := testFabric(t, cfg)
+		for k := 0; k < 5; k++ {
+			predicted := f.DeliveryTime(0, 1, 1000)
+			if again := f.DeliveryTime(0, 1, 1000); again != predicted {
+				t.Fatalf("cfg %d msg %d: repeated DeliveryTime %v != %v", i, k, again, predicted)
+			}
+			var actual sim.Time
+			f.Send(0, 1, 1000, func() { actual = eng.Now() })
+			eng.RunUntilIdle()
+			if predicted != actual {
+				t.Fatalf("cfg %d msg %d: DeliveryTime %v != actual %v", i, k, predicted, actual)
+			}
+		}
+	}
+}
+
+// Every jitter draw must be reproducible from (seed, src, dst, message
+// index) alone: run traffic through a fabric, then recompute each message's
+// delivery time from identity with no fabric or engine state at all.
+func TestJitterReplayFromIdentity(t *testing.T) {
+	const seed = 31
+	cfg := Config{Latency: 10 * sim.Microsecond, Jitter: 6 * sim.Microsecond}
+	eng := sim.NewEngine(seed)
+	f := MustFabric(eng, cfg)
+	type msg struct {
+		src, dst int
+		idx      uint64
+		at       sim.Time
+	}
+	var got []msg
+	counts := map[[2]int]uint64{}
+	for i := 0; i < 60; i++ {
+		src, dst := i%3, (i*2+1)%3
+		if src == dst {
+			continue
+		}
+		pair := [2]int{src, dst}
+		m := msg{src: src, dst: dst, idx: counts[pair]}
+		counts[pair]++
+		k := len(got)
+		got = append(got, m)
+		f.Send(src, dst, 0, func() { got[k].at = eng.Now() })
+	}
 	eng.RunUntilIdle()
-	if predicted != actual {
-		t.Fatalf("DeliveryTime %v != actual %v", predicted, actual)
+	for _, m := range got {
+		// Isolated replay: only the run seed and the message identity.
+		cr := sim.NewSource(seed).CounterRand("net-jitter", uint64(m.src), uint64(m.dst), m.idx)
+		want := cfg.Latency + cr.Duration(cfg.Jitter+1)
+		if m.at != want {
+			t.Fatalf("message (%d->%d #%d) delivered at %v, identity replay says %v",
+				m.src, m.dst, m.idx, m.at, want)
+		}
+	}
+}
+
+// Jitter values are order-independent: interleaving traffic from another
+// node pair must not perturb a pair's per-message jitter sequence.
+func TestJitterOrderIndependent(t *testing.T) {
+	cfg := Config{Latency: 10 * sim.Microsecond, Jitter: 9 * sim.Microsecond}
+	run := func(interleave bool) []sim.Time {
+		eng := sim.NewEngine(77)
+		f := MustFabric(eng, cfg)
+		var times []sim.Time
+		for i := 0; i < 30; i++ {
+			f.Send(0, 1, 0, func() { times = append(times, eng.Now()) })
+			if interleave {
+				f.Send(2, 3, 0, func() {})
+			}
+		}
+		eng.RunUntilIdle()
+		return times
+	}
+	plain, mixed := run(false), run(true)
+	for i := range plain {
+		if plain[i] != mixed[i] {
+			t.Fatalf("message %d on pair 0->1 moved from %v to %v when unrelated traffic interleaved",
+				i, plain[i], mixed[i])
+		}
 	}
 }

@@ -75,12 +75,11 @@ type Config struct {
 	Interrupts []InterruptSpec
 
 	// GapBatch, when > 1, pre-draws interrupt inter-arrival gaps (and the
-	// target-CPU picks) in batches of this size from a dedicated per-source
-	// random stream instead of one draw per arrival on the node's shared
-	// noise stream. The run remains fully deterministic for a given seed,
-	// but the values differ from the default single-draw sequence (the
-	// shared stream's interleaving changes), so leave this at 0 or 1 to
-	// reproduce historical results bit-for-bit.
+	// target-CPU picks) in batches of this size. Every interrupt source
+	// owns a counter-based stream keyed by (node, source index), and a
+	// batch refill consumes it in exactly the per-arrival order, so
+	// batched and unbatched runs sample bit-identical sequences — the
+	// batch is purely an amortization of draw overhead.
 	GapBatch int
 }
 
@@ -136,10 +135,13 @@ func HeavyConfig() Config {
 // interference).
 func QuietConfig() Config { return Config{} }
 
-// Set is the live noise attached to one node.
+// Set is the live noise attached to one node. Every daemon, the cron job
+// and every interrupt source draws from its own counter-based stream keyed
+// by (node, source identity), so a source's sampled sequence is a pure
+// function of who it is — independent of how the node's other sources
+// interleave, and therefore identical under serial and sharded engines.
 type Set struct {
 	node    *kernel.Node
-	rng     *sim.Rand
 	threads []*kernel.Thread
 	cron    *kernel.Thread
 	// CronFirings counts cron activations, for outlier forensics.
@@ -152,21 +154,21 @@ type Set struct {
 // them under QueueDaemonsGlobal). Each daemon starts at a random phase of
 // its period so nodes are uncorrelated, as in real life.
 func Attach(n *kernel.Node, cfg Config) (*Set, error) {
-	s := &Set{node: n, rng: n.Engine().Rand(fmt.Sprintf("noise-%d", n.ID()))}
+	s := &Set{node: n}
 	for i, spec := range cfg.Daemons {
 		if err := spec.Validate(); err != nil {
 			return nil, err
 		}
-		s.launchDaemon(spec, i%n.NumCPUs())
+		s.launchDaemon(spec, i, i%n.NumCPUs())
 	}
 	if cfg.Cron.Period > 0 {
 		s.launchCron(cfg.Cron)
 	}
-	for _, irq := range cfg.Interrupts {
+	for i, irq := range cfg.Interrupts {
 		if irq.MeanGap <= 0 {
 			return nil, fmt.Errorf("noise: interrupt %s: non-positive mean gap", irq.Name)
 		}
-		s.launchInterrupts(irq, cfg.GapBatch)
+		s.launchInterrupts(irq, i, cfg.GapBatch)
 	}
 	return s, nil
 }
@@ -180,25 +182,28 @@ func MustAttach(n *kernel.Node, cfg Config) *Set {
 	return s
 }
 
-func (s *Set) launchDaemon(spec DaemonSpec, homeCPU int) {
+func (s *Set) launchDaemon(spec DaemonSpec, idx, homeCPU int) {
 	th := s.node.NewDaemon(spec.Name, spec.Priority, homeCPU)
 	s.threads = append(s.threads, th)
+	// One counter stream per (node, daemon): draws depend only on the
+	// daemon's identity and its own cycle count.
+	rng := s.node.Engine().CounterRand("noise-daemon", uint64(s.node.ID()), uint64(idx))
 	var cycle func()
 	cycle = func() {
 		if s.stopped {
 			th.Exit()
 			return
 		}
-		burst := s.rng.Jitter(spec.Burst, spec.BurstJitter)
-		if spec.PageFaultProb > 0 && s.rng.Float64() < spec.PageFaultProb {
+		burst := rng.Jitter(spec.Burst, spec.BurstJitter)
+		if spec.PageFaultProb > 0 && rng.Float64() < spec.PageFaultProb {
 			burst += spec.PageFaultCost
 		}
 		th.Run(burst, func() {
-			th.Sleep(s.rng.Jitter(spec.Period, spec.PeriodJitter), cycle)
+			th.Sleep(rng.Jitter(spec.Period, spec.PeriodJitter), cycle)
 		})
 	}
 	// Random initial phase within one period.
-	phase := s.rng.Duration(spec.Period)
+	phase := rng.Duration(spec.Period)
 	th.Start(func() { th.Sleep(phase, cycle) })
 }
 
@@ -206,7 +211,8 @@ func (s *Set) launchCron(spec CronSpec) {
 	// The cron job lands on a random CPU each node; its components run as
 	// one long privileged burst, which is what blocked a single MPI task
 	// per node in the paper's worst outlier.
-	th := s.node.NewDaemon("cron", spec.Priority, s.rng.Intn(s.node.NumCPUs()))
+	rng := s.node.Engine().CounterRand("noise-cron", uint64(s.node.ID()))
+	th := s.node.NewDaemon("cron", spec.Priority, rng.Intn(s.node.NumCPUs()))
 	s.cron = th
 	s.threads = append(s.threads, th)
 	var cycle func()
@@ -220,20 +226,20 @@ func (s *Set) launchCron(spec CronSpec) {
 			th.Sleep(spec.Period, cycle)
 		})
 	}
-	phase := s.rng.Duration(spec.Period)
+	phase := rng.Duration(spec.Period)
 	th.Start(func() { th.Sleep(phase, cycle) })
 }
 
 // irqSource drives one adapter interrupt stream as a single recurring
-// engine event re-armed in place. In the default mode every arrival draws
-// its gap and target CPU from the node's shared noise stream, reproducing
-// the historical sequence exactly; with a batch size > 1 the draws come in
-// blocks from a dedicated stream (see Config.GapBatch).
+// engine event re-armed in place. Every arrival draws its gap and then its
+// target CPU from the source's own counter stream; a batch refill consumes
+// the stream in that same interleaved order, so batched and unbatched
+// execution sample identical sequences (see Config.GapBatch).
 type irqSource struct {
 	set   *Set
 	spec  InterruptSpec
 	batch int
-	rng   *sim.Rand // dedicated stream, only used when batch > 1
+	rng   sim.CounterRand
 	gaps  []sim.Time
 	cpus  []int
 	idx   int
@@ -244,6 +250,7 @@ func (q *irqSource) refill() {
 	q.cpus = q.cpus[:0]
 	ncpu := q.set.node.NumCPUs()
 	for i := 0; i < q.batch; i++ {
+		// Interleaved gap,cpu draws per arrival — the unbatched order.
 		q.gaps = append(q.gaps, q.rng.Exp(q.spec.MeanGap))
 		q.cpus = append(q.cpus, q.rng.Intn(ncpu))
 	}
@@ -260,7 +267,7 @@ func (q *irqSource) nextGap() sim.Time {
 		}
 		gap = q.gaps[q.idx]
 	} else {
-		gap = q.set.rng.Exp(q.spec.MeanGap)
+		gap = q.rng.Exp(q.spec.MeanGap)
 	}
 	if gap <= 0 {
 		gap = sim.Microsecond
@@ -276,14 +283,14 @@ func (q *irqSource) nextCPU() int {
 		q.idx++
 		return cpu
 	}
-	return q.set.rng.Intn(q.set.node.NumCPUs())
+	return q.rng.Intn(q.set.node.NumCPUs())
 }
 
-func (s *Set) launchInterrupts(spec InterruptSpec, batch int) {
+func (s *Set) launchInterrupts(spec InterruptSpec, idx, batch int) {
 	eng := s.node.Engine()
-	src := &irqSource{set: s, spec: spec, batch: batch}
+	src := &irqSource{set: s, spec: spec, batch: batch,
+		rng: eng.CounterRand("noise-irq", uint64(s.node.ID()), uint64(idx))}
 	if batch > 1 {
-		src.rng = eng.Rand(fmt.Sprintf("noise-%d-irq-%s", s.node.ID(), spec.Name))
 		src.refill()
 	}
 	eng.Recur(eng.Now()+src.nextGap(), spec.Name, func() sim.Time {

@@ -184,6 +184,62 @@ func TestDaemonPlacementGlobalUnderPrototype(t *testing.T) {
 	}
 }
 
+// Batched gap pre-draws consume each source's counter stream in the same
+// interleaved order as per-arrival draws, so GapBatch must not change any
+// sampled value: the whole node's noise evolution is bit-identical.
+func TestGapBatchBitIdentical(t *testing.T) {
+	run := func(batch int) (sim.Time, sim.Time) {
+		eng, n := quietNode(t, 17, 8)
+		for i := 0; i < 8; i++ {
+			th := n.NewThread("rank", kernel.PrioUserNormal, i)
+			th.Start(func() { th.Run(sim.Hour, th.Exit) })
+		}
+		cfg := StandardConfig()
+		cfg.GapBatch = batch
+		s := MustAttach(n, cfg)
+		eng.Run(30 * sim.Second)
+		return s.DaemonCPUTime(), n.Stats().ExtSteal
+	}
+	d0, i0 := run(0)
+	for _, batch := range []int{2, 16, 64} {
+		if d, i := run(batch); d != d0 || i != i0 {
+			t.Fatalf("GapBatch=%d diverged: daemons %v vs %v, steal %v vs %v", batch, d, d0, i, i0)
+		}
+	}
+}
+
+// Each noise source's draws are a pure function of (seed, node, source
+// index): a detached counter stream replays the daemon's phase and first
+// burst exactly, and the prediction matches what the live node consumed.
+func TestNoiseSourceReplayable(t *testing.T) {
+	const seed = 23
+	spec := StandardDaemons()[0] // hatsd: 1s period, 8ms burst
+	// Replay the stream in the daemon's draw order: phase, burst jitter,
+	// page-fault check — with no engine, node or Set involved.
+	replay := sim.NewSource(seed).CounterRand("noise-daemon", 0, 0)
+	phase := replay.Duration(spec.Period)
+	burst := replay.Jitter(spec.Burst, spec.BurstJitter)
+	if spec.PageFaultProb > 0 && replay.Float64() < spec.PageFaultProb {
+		burst += spec.PageFaultCost
+	}
+	// Live run on an otherwise idle node until just past the first burst
+	// (the second activation is at least Period-PeriodJitter away).
+	eng, n := quietNode(t, seed, 8)
+	s := MustAttach(n, Config{Daemons: []DaemonSpec{spec}})
+	eng.Run(phase + burst + 200*sim.Millisecond)
+	if got := s.DaemonCPUTime(); got != burst {
+		t.Fatalf("first-cycle daemon CPU %v, identity replay predicts %v (phase %v)", got, burst, phase)
+	}
+	// The stream is insensitive to the rest of the node's noise: the same
+	// daemon under the full standard config consumes the same first burst.
+	eng2, n2 := quietNode(t, seed, 8)
+	s2 := MustAttach(n2, Config{Daemons: StandardDaemons()[:1], Interrupts: StandardInterrupts()})
+	eng2.Run(phase + burst + 200*sim.Millisecond)
+	if got := s2.DaemonCPUTime(); got != burst {
+		t.Fatalf("with interrupts present: first-cycle daemon CPU %v, replay predicts %v", got, burst)
+	}
+}
+
 func TestNoiseDeterminism(t *testing.T) {
 	run := func() sim.Time {
 		eng, n := quietNode(t, 99, 8)

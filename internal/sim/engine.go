@@ -212,6 +212,19 @@ func (e *Engine) Scheduled() uint64 { return e.scheduled }
 // sequences depend only on the engine seed and the name.
 func (e *Engine) Rand(name string) *Rand { return e.rng.Stream(name) }
 
+// CounterRand returns the counter-based random stream for (name, ids...)
+// rooted at the engine seed, positioned at counter zero. Every shard of a
+// ShardGroup carries the same seed, so the stream a given identity names is
+// the same no matter which shard derives it — the foundation for sampling
+// randomness under parallel execution without order dependence.
+func (e *Engine) CounterRand(name string, ids ...uint64) CounterRand {
+	return e.rng.CounterRand(name, ids...)
+}
+
+// Source returns the engine's stream factory (for components that derive
+// many keyed streams and want to skip the engine indirection).
+func (e *Engine) Source() *Source { return e.rng }
+
 // lease takes an Event record from the pool (or allocates one) and starts a
 // new generation for it.
 func (e *Engine) lease(t Time, label string) *Event {

@@ -68,8 +68,12 @@ func (r *Rand) Uint64() uint64 {
 	return result
 }
 
-// Int63n returns a uniform value in [0, n). Panics if n <= 0.
-func (r *Rand) Int63n(n int64) int64 {
+// bits64 is the raw-draw interface shared by the sequential Rand and the
+// counter-based CounterRand; the derived sampling methods below are defined
+// once against it so both generator families sample identically.
+type bits64 interface{ Uint64() uint64 }
+
+func randInt63n(r bits64, n int64) int64 {
 	if n <= 0 {
 		panic("sim: Int63n with non-positive n")
 	}
@@ -83,40 +87,31 @@ func (r *Rand) Int63n(n int64) int64 {
 	}
 }
 
-// Intn returns a uniform value in [0, n). Panics if n <= 0.
-func (r *Rand) Intn(n int) int { return int(r.Int63n(int64(n))) }
-
-// Float64 returns a uniform value in [0, 1).
-func (r *Rand) Float64() float64 {
+func randFloat64(r bits64) float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
-// Duration returns a uniform simulated duration in [0, d). Panics if d <= 0.
-func (r *Rand) Duration(d Time) Time { return Time(r.Int63n(int64(d))) }
+func randDuration(r bits64, d Time) Time { return Time(randInt63n(r, int64(d))) }
 
-// Jitter returns base perturbed by a uniform offset in [-spread, +spread],
-// clamped to be non-negative.
-func (r *Rand) Jitter(base, spread Time) Time {
+func randJitter(r bits64, base, spread Time) Time {
 	if spread <= 0 {
 		return base
 	}
-	v := base + Time(r.Int63n(int64(2*spread+1))) - spread
+	v := base + Time(randInt63n(r, int64(2*spread+1))) - spread
 	if v < 0 {
 		return 0
 	}
 	return v
 }
 
-// Exp returns an exponentially distributed duration with the given mean,
-// truncated at 20x the mean to keep event horizons bounded.
-func (r *Rand) Exp(mean Time) Time {
+func randExp(r bits64, mean Time) Time {
 	if mean <= 0 {
 		return 0
 	}
-	u := r.Float64()
+	u := randFloat64(r)
 	// Guard u==0, which would yield +Inf.
 	for u == 0 {
-		u = r.Float64()
+		u = randFloat64(r)
 	}
 	d := Time(-math.Log(u) * float64(mean))
 	if limit := 20 * mean; d > limit {
@@ -124,6 +119,26 @@ func (r *Rand) Exp(mean Time) Time {
 	}
 	return d
 }
+
+// Int63n returns a uniform value in [0, n). Panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 { return randInt63n(r, n) }
+
+// Intn returns a uniform value in [0, n). Panics if n <= 0.
+func (r *Rand) Intn(n int) int { return int(randInt63n(r, int64(n))) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return randFloat64(r) }
+
+// Duration returns a uniform simulated duration in [0, d). Panics if d <= 0.
+func (r *Rand) Duration(d Time) Time { return randDuration(r, d) }
+
+// Jitter returns base perturbed by a uniform offset in [-spread, +spread],
+// clamped to be non-negative.
+func (r *Rand) Jitter(base, spread Time) Time { return randJitter(r, base, spread) }
+
+// Exp returns an exponentially distributed duration with the given mean,
+// truncated at 20x the mean to keep event horizons bounded.
+func (r *Rand) Exp(mean Time) Time { return randExp(r, mean) }
 
 // Perm returns a random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {

@@ -30,8 +30,25 @@ type AggregateSpec struct {
 	// Compute is optional work between calls (the real benchmark "simulates
 	// the sorts of tasks programs may perform" around the Allreduce loop).
 	Compute sim.Time
+	// ComputeJitter, when > 0, perturbs each rank's per-call compute by a
+	// uniform offset in [-ComputeJitter, +ComputeJitter] drawn from a
+	// counter stream keyed by (rank, call) — shard-safe load imbalance for
+	// the synthetic benchmark. Zero keeps compute constant (the paper's
+	// benchmark) and the draw-free historical behavior.
+	ComputeJitter sim.Time
 	// Tracer receives the marks (may be nil).
 	Tracer *trace.Buffer
+}
+
+// WorkFor returns rank's compute cost before timed call number call: a pure
+// function of (seed, rank, call). With zero ComputeJitter it is simply
+// Compute and consumes no randomness.
+func (s AggregateSpec) WorkFor(src *sim.Source, rank, call int) sim.Time {
+	if s.ComputeJitter <= 0 {
+		return s.Compute
+	}
+	cr := src.CounterRand("aggregate-imbalance", uint64(rank), uint64(call))
+	return cr.Jitter(s.Compute, s.ComputeJitter)
 }
 
 // DefaultAggregateSpec mirrors the paper's benchmark at full size.
@@ -44,7 +61,7 @@ func (s AggregateSpec) Validate() error {
 	if s.Loops <= 0 || s.CallsPerLoop <= 0 {
 		return fmt.Errorf("workload: aggregate needs positive loops and calls")
 	}
-	if s.TraceEvery < 0 || s.Compute < 0 {
+	if s.TraceEvery < 0 || s.Compute < 0 || s.ComputeJitter < 0 {
 		return fmt.Errorf("workload: negative aggregate parameters")
 	}
 	return nil
@@ -73,6 +90,7 @@ func RunAggregate(c *cluster.Cluster, spec AggregateSpec, horizon sim.Time) (Agg
 	}
 	total := spec.Loops * spec.CallsPerLoop
 	res := AggregateResult{TimesUS: make([]float64, 0, total)}
+	src := c.Eng.Source()
 	var t0 sim.Time
 
 	mark := func(r *mpi.Rank, i int, phase string) {
@@ -110,7 +128,7 @@ func RunAggregate(c *cluster.Cluster, spec AggregateSpec, horizon sim.Time) (Agg
 				return
 			}
 			if spec.Compute > 0 {
-				r.Compute(spec.Compute, body)
+				r.Compute(spec.WorkFor(src, r.ID(), i), body)
 			} else {
 				body()
 			}

@@ -93,8 +93,18 @@ type ALE3DResult struct {
 	Timesteps int
 }
 
+// StepWork returns rank's imbalanced compute cost for timestep step: a pure
+// function of (seed, rank, step) via a counter-based stream, so any draw can
+// be replayed in isolation and the workload runs identically on the serial
+// and sharded engine cores regardless of event-execution order.
+func (s ALE3DSpec) StepWork(src *sim.Source, rank, step int) sim.Time {
+	cr := src.CounterRand("ale3d-imbalance", uint64(rank), uint64(step))
+	return cr.Jitter(s.ComputeMean, s.ComputeJitter)
+}
+
 // RunALE3D executes the proxy application. The cluster must have been built
-// with GPFS enabled.
+// with GPFS enabled. Load imbalance is drawn per (rank, timestep), so the
+// workload is shard-safe and runs under IntraRunWorkers.
 func RunALE3D(c *cluster.Cluster, spec ALE3DSpec, horizon sim.Time) (ALE3DResult, error) {
 	if err := spec.Validate(); err != nil {
 		return ALE3DResult{}, err
@@ -102,15 +112,8 @@ func RunALE3D(c *cluster.Cluster, spec ALE3DSpec, horizon sim.Time) (ALE3DResult
 	if len(c.IO) == 0 {
 		return ALE3DResult{}, fmt.Errorf("workload: ale3d requires a cluster with GPFS enabled")
 	}
-	if c.Group != nil {
-		// Every rank draws from one shared imbalance stream at run time, in
-		// global execution order — inherently serial. (Per-rank streams
-		// would fix this but change the sampled sequences, breaking
-		// bit-compatibility with the seed outputs; see ROADMAP open items.)
-		return ALE3DResult{}, fmt.Errorf("workload: ale3d requires the serial engine (shared imbalance stream); build without IntraRunWorkers")
-	}
 	res := ALE3DResult{}
-	rng := c.Eng.Rand("ale3d-imbalance")
+	src := c.Eng.Source()
 	svcFor := func(r *mpi.Rank) *gpfs.Service { return c.IO[r.Node().ID()] }
 
 	var readDone, stepsDone sim.Time
@@ -170,7 +173,7 @@ func RunALE3D(c *cluster.Cluster, spec ALE3DSpec, horizon sim.Time) (ALE3DResult
 				finalize()
 				return
 			}
-			work := rng.Jitter(spec.ComputeMean, spec.ComputeJitter)
+			work := spec.StepWork(src, r.ID(), i)
 			r.Compute(work, func() {
 				var exchange func(k int)
 				var reduce func(k int)

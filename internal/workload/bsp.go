@@ -47,18 +47,22 @@ type BSPResult struct {
 	Completed       bool
 }
 
+// StepWork returns rank's imbalanced compute cost for step: a pure function
+// of (seed, rank, step), replayable in isolation and shard-safe.
+func (s BSPSpec) StepWork(src *sim.Source, rank, step int) sim.Time {
+	cr := src.CounterRand("bsp-imbalance", uint64(rank), uint64(step))
+	return cr.Jitter(s.ComputeMean, s.ComputeJitter)
+}
+
 // RunBSP executes the BSP application and measures rank 0's collective
-// share.
+// share. Load imbalance is drawn per (rank, step), so the workload runs
+// under IntraRunWorkers.
 func RunBSP(c *cluster.Cluster, spec BSPSpec, horizon sim.Time) (BSPResult, error) {
 	if err := spec.Validate(); err != nil {
 		return BSPResult{}, err
 	}
-	if c.Group != nil {
-		// Same constraint as RunALE3D: one shared runtime imbalance stream.
-		return BSPResult{}, fmt.Errorf("workload: bsp requires the serial engine (shared imbalance stream); build without IntraRunWorkers")
-	}
 	res := BSPResult{}
-	rng := c.Eng.Rand("bsp-imbalance")
+	src := c.Eng.Source()
 	var inColl sim.Time
 	var collStart sim.Time
 
@@ -72,7 +76,7 @@ func RunBSP(c *cluster.Cluster, spec BSPSpec, horizon sim.Time) (BSPResult, erro
 				r.Done()
 				return
 			}
-			work := rng.Jitter(spec.ComputeMean, spec.ComputeJitter)
+			work := spec.StepWork(src, r.ID(), i)
 			r.Compute(work, func() {
 				var reduce func(k int)
 				finishStep := func() {

