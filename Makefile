@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-sharded bench bench-engine bench-pdes bench-check profile check
+.PHONY: build test vet race race-sharded bench bench-engine bench-pdes bench-mem bench-check huge huge-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -45,12 +45,36 @@ bench-pdes:
 	mkdir -p results
 	$(GO) run ./cmd/enginebench -mode pdes -o results/bench_pdes.json
 
+# bench-mem regenerates results/bench_mem.json: bytes and allocations per
+# simulated event on the cluster scenarios (including a 256-node one), plus
+# testing.AllocsPerOp-style micro-benchmarks of the MPI hot path and the
+# sharded window loop, compared against the recorded pre-flattening numbers
+# (results/bench_mem_baseline.json).
+bench-mem:
+	mkdir -p results
+	$(GO) run ./cmd/enginebench -mode mem -mem-baseline results/bench_mem_baseline.json -o results/bench_mem.json
+
 # bench-check is the CI perf guard: re-measure the two acceptance scenarios
 # wheel-only and fail if either loses more than 25% events/s against the
-# committed results/bench_engine.json; then guard the serial throughput of
-# the pdes scenarios (plain and jittered) against results/bench_pdes.json.
+# committed results/bench_engine.json; guard the serial throughput of the
+# pdes scenarios (plain and jittered) against results/bench_pdes.json; then
+# guard bytes-per-event on the same scenarios against the committed
+# results/bench_mem.json (fail on >20% allocation growth).
 bench-check:
-	$(GO) run ./cmd/enginebench -mode check -against results/bench_engine.json -pdes-against results/bench_pdes.json
+	$(GO) run ./cmd/enginebench -mode check -against results/bench_engine.json -pdes-against results/bench_pdes.json -mem-against results/bench_mem.json
+
+# huge runs the extended scaling tier: the Allreduce sweep carried to 1024
+# sixteen-way nodes (16384 ranks) on the sharded conservative-window core,
+# with per-call timings streamed through online accumulators instead of
+# retained. GOMAXPROCS is pinned so the intra-run worker budget is honored
+# even on small CI boxes.
+huge:
+	GOMAXPROCS=4 $(GO) run ./cmd/parsim run huge -huge -procs 4 -shard-procs 4 -v
+
+# huge-smoke is the fast tier-1 variant of the same path: reduced node count,
+# still sharded, still streamed.
+huge-smoke:
+	GOMAXPROCS=2 $(GO) run ./cmd/parsim run huge -nodes 64 -calls 8 -seeds 1 -procs 2 -shard-procs 2
 
 # profile runs a representative sweep under the CPU and allocation profilers
 # and prints the top CPU consumers. Inspect interactively with

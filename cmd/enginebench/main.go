@@ -53,10 +53,13 @@ type measurement struct {
 // (read from -baseline, see results/bench_baseline.json): the in-process
 // heap core shares this change's allocation optimizations, so heap-vs-wheel
 // isolates the queue data structure while wheel-vs-baseline is the
-// end-to-end gain of the change.
+// end-to-end gain of the change. GOMAXPROCS/NumCPU are recorded per
+// scenario so artifacts measured on a single-core box are self-describing.
 type comparison struct {
 	Name              string       `json:"name"`
 	Detail            string       `json:"detail"`
+	GOMAXPROCS        int          `json:"gomaxprocs"`
+	NumCPU            int          `json:"num_cpu"`
 	Heap              measurement  `json:"heap"`
 	Wheel             measurement  `json:"wheel"`
 	Speedup           float64      `json:"speedup"`
@@ -76,10 +79,14 @@ type report struct {
 	Generated      string       `json:"generated"`
 	GoVersion      string       `json:"go_version"`
 	GOMAXPROCS     int          `json:"gomaxprocs"`
+	NumCPU         int          `json:"num_cpu"`
 	Reps           int          `json:"reps"`
 	BaselineCommit string       `json:"baseline_commit,omitempty"`
 	Scenarios      []comparison `json:"scenarios"`
 }
+
+// nowStamp is the shared timestamp format of every report.
+func nowStamp() string { return time.Now().UTC().Format(time.RFC3339) }
 
 // scenario couples a benchmark body with its description. Bodies must call
 // b.ReportMetric(..., "events/s") like the _test.go versions they mirror.
@@ -234,12 +241,15 @@ type pdesMeasurement struct {
 }
 
 // pdesComparison is one scenario: the serial wheel baseline and the sharded
-// runs at each worker count.
+// runs at each worker count. GOMAXPROCS/NumCPU are recorded per scenario so
+// single-core artifacts are self-describing.
 type pdesComparison struct {
-	Name    string            `json:"name"`
-	Detail  string            `json:"detail"`
-	Serial  measurement       `json:"serial_wheel"`
-	Sharded []pdesMeasurement `json:"sharded"`
+	Name       string            `json:"name"`
+	Detail     string            `json:"detail"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Serial     measurement       `json:"serial_wheel"`
+	Sharded    []pdesMeasurement `json:"sharded"`
 }
 
 // pdesReport is the bench_pdes.json schema.
@@ -247,6 +257,7 @@ type pdesReport struct {
 	Generated   string           `json:"generated"`
 	GoVersion   string           `json:"go_version"`
 	GOMAXPROCS  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
 	Reps        int              `json:"reps"`
 	MachineNote string           `json:"machine_note,omitempty"`
 	Scenarios   []pdesComparison `json:"scenarios"`
@@ -371,9 +382,10 @@ func pdesStats(s pdesScenario, workers int) (sim.GroupStats, float64) {
 // runPDES measures the pdes scenarios and writes bench_pdes.json.
 func runPDES(out string, reps int) {
 	rep := pdesReport{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Generated:  nowStamp(),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Reps:       reps,
 	}
 	workerCounts := []int{2, 4}
@@ -388,7 +400,11 @@ func runPDES(out string, reps int) {
 	for _, s := range pdesScenarios() {
 		fmt.Fprintf(os.Stderr, "%-16s serial...", s.name)
 		serial := measure(scenario{name: s.name, run: pdesBody(s, 0)}, sim.CoreWheel, reps)
-		cmp := pdesComparison{Name: s.name, Detail: s.detail, Serial: serial}
+		cmp := pdesComparison{
+			Name: s.name, Detail: s.detail,
+			GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			Serial: serial,
+		}
 		for _, w := range workerCounts {
 			fmt.Fprintf(os.Stderr, " %.3gM ev/s, w=%d...", serial.EventsPerSec/1e6, w)
 			m := measure(scenario{name: s.name, run: pdesBody(s, w)}, sim.CoreWheel, reps)
@@ -531,13 +547,16 @@ func writeJSON(path string, v any) {
 }
 
 func main() {
-	mode := flag.String("mode", "engine", "engine (serial core comparison), pdes (sharded core scaling), or check (CI perf guard)")
+	mode := flag.String("mode", "engine", "engine (serial core comparison), pdes (sharded core scaling), mem (allocation profile), or check (CI perf guard)")
 	out := flag.String("o", "", "output JSON path (- for stdout; defaults per mode)")
 	reps := flag.Int("reps", 3, "benchmark repetitions per scenario per core (best run is kept)")
 	basePath := flag.String("baseline", "", "pre-change baseline JSON to merge in (see results/bench_baseline.json)")
+	memBaseline := flag.String("mem-baseline", "", "pre-diet bench_mem.json to merge as the baseline for -mode mem")
 	against := flag.String("against", "results/bench_engine.json", "committed report for -mode check")
 	pdesAgainst := flag.String("pdes-against", "", "committed bench_pdes.json for -mode check (empty: skip the pdes guard)")
+	memAgainst := flag.String("mem-against", "", "committed bench_mem.json for -mode check (empty: skip the allocation guard)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional events/s regression for -mode check")
+	memTolerance := flag.Float64("mem-tolerance", 0.20, "allowed fractional bytes-per-event growth for the -mem-against guard")
 	flag.Parse()
 	debug.SetGCPercent(800) // match parsim's production GC setting
 
@@ -548,10 +567,19 @@ func main() {
 		}
 		runPDES(*out, *reps)
 		return
+	case "mem":
+		if *out == "" {
+			*out = "results/bench_mem.json"
+		}
+		runMem(*out, *memBaseline, *reps)
+		return
 	case "check":
 		runCheck(*against, *reps, *tolerance)
 		if *pdesAgainst != "" {
 			runPDESCheck(*pdesAgainst, *reps, *tolerance)
+		}
+		if *memAgainst != "" {
+			runMemCheck(*memAgainst, *reps, *memTolerance)
 		}
 		return
 	case "engine":
@@ -577,9 +605,10 @@ func main() {
 	}
 
 	rep := report{
-		Generated:      time.Now().UTC().Format(time.RFC3339),
+		Generated:      nowStamp(),
 		GoVersion:      runtime.Version(),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
 		Reps:           *reps,
 		BaselineCommit: base.Commit,
 	}
@@ -594,6 +623,7 @@ func main() {
 		}
 		cmp := comparison{
 			Name: s.name, Detail: s.detail,
+			GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 			Heap: heap, Wheel: wheel, Speedup: speedup,
 		}
 		if bm, ok := base.Scenarios[s.name]; ok && bm.EventsPerSec > 0 {

@@ -47,6 +47,7 @@ func run() int {
 	case "run", "all":
 		fs := flag.NewFlagSet(os.Args[1], flag.ExitOnError)
 		full := fs.Bool("full", false, "paper-size runs (59+ nodes; minutes of wall time)")
+		hugeTier := fs.Bool("huge", false, "huge-tier sizing (1024 nodes / 16384 procs; implies the sharded core unless -shard-procs overrides)")
 		nodes := fs.Int("nodes", 0, "override the maximum node count")
 		calls := fs.Int("calls", 0, "override timed Allreduce calls per point")
 		seeds := fs.Int("seeds", 0, "override runs per data point")
@@ -103,6 +104,15 @@ func run() int {
 		opts := experiment.Quick()
 		if *full {
 			opts = experiment.Full()
+		}
+		if *hugeTier {
+			opts = experiment.Huge()
+			// The huge tier exists to exercise the sharded core at scale;
+			// default its intra-run workers on rather than requiring both
+			// flags (-shard-procs still overrides).
+			if *shardProcs == 0 {
+				*shardProcs = 4
+			}
 		}
 		if *nodes > 0 {
 			opts.MaxNodes = *nodes
@@ -186,6 +196,8 @@ usage:
 
 flags for run/all (may precede or follow experiment names):
   -full        paper-size runs (59+ nodes)
+  -huge        huge-tier runs (1024 nodes / 16384 procs, streamed results;
+               defaults -shard-procs to 4 so runs use the sharded core)
   -nodes N     override max node count
   -calls N     override Allreduce calls per point
   -seeds N     override seeds per point

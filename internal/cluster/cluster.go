@@ -229,15 +229,27 @@ func Build(cfg Config) (*Cluster, error) {
 		noiseCfg.Daemons = dropDaemon(noiseCfg.Daemons, "mmfsd")
 	}
 
+	// One kernel.Options record serves every node: the only per-node policy
+	// value is the clock phase, which kernel.NewNodeShared takes separately.
+	// Likewise the synchronized switch clock is stateless per engine, so one
+	// instance per shard serves all its nodes. At 1024 nodes this removes a
+	// thousand copies of each.
+	sharedOpts := cfg.Kernel
+	sharedOpts.Phase = 0
+	switchClocks := map[*sim.Engine]network.Clock{}
+
 	for i := 0; i < cfg.Nodes; i++ {
-		opts := cfg.Kernel
 		// Everything owned by node i — kernel, clock, noise, GPFS — lives
 		// on node i's engine shard (the shared engine when not sharded).
 		eng := c.shardEngine(i)
 		var clock network.Clock
+		var phase sim.Time
 		if cfg.SyncClocks {
-			opts.Phase = 0
-			clock = network.NewSwitchClock(eng)
+			clock = switchClocks[eng]
+			if clock == nil {
+				clock = network.NewSwitchClock(eng)
+				switchClocks[eng] = clock
+			}
 		} else {
 			skew := cfg.ClockSkew
 			if skew <= 0 {
@@ -247,10 +259,10 @@ func Build(cfg Config) (*Cluster, error) {
 			// of (seed, i), not of the node-construction order.
 			skewRNG := eng.CounterRand("clock-skew", uint64(i))
 			off := skewRNG.Duration(skew + 1)
-			opts.Phase = off % opts.EffectiveTick()
+			phase = off % sharedOpts.EffectiveTick()
 			clock = network.NewLocalClock(eng, off)
 		}
-		n, err := kernel.NewNode(eng, i, opts)
+		n, err := kernel.NewNodeShared(eng, i, &sharedOpts, phase)
 		if err != nil {
 			return nil, err
 		}

@@ -161,6 +161,7 @@ func Registry() []Runner {
 		{"abl-jitter", "Ablation: switch-transit jitter sweep, vanilla vs prototype", AblationNetworkJitter},
 		{"abl-gang", "Baseline: coarse-quantum gang scheduler (paper §6 category 1)", AblationGangScheduler},
 		{"abl-fairshare", "Baseline: fair-share usage decay (paper §6 category 3)", AblationFairShare},
+		{"huge", "Extended: vanilla scaling to 1024 nodes / 16384 procs, paper-range fit extrapolated", HugeScaling},
 	}
 }
 

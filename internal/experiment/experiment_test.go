@@ -25,7 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig3", "fig4", "fig5", "fig6",
 		"t1", "t2", "t3", "t4", "t5",
 		"abl-bigtick", "abl-duty", "abl-ipi", "abl-clock", "abl-ticks",
-		"abl-hints", "abl-hwcoll", "abl-jitter", "abl-gang", "abl-fairshare"}
+		"abl-hints", "abl-hwcoll", "abl-jitter", "abl-gang", "abl-fairshare",
+		"huge"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"coschedsim/internal/sim"
+)
+
+// TestHugeScalingSmoke runs the huge-tier runner at a reduced node count on
+// the sharded core: the streamed-aggregation path, the paper-range fit and
+// the extrapolation columns must all come out populated and finite.
+func TestHugeScalingSmoke(t *testing.T) {
+	o := Options{MaxNodes: 24, Calls: 4, Seeds: 1,
+		ComputeGrain: 200 * sim.Microsecond, BaseSeed: 1,
+		Parallelism: 2, ShardWorkers: 2}
+	tab, err := HugeScaling(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper anchors 8 and 16, one extended point at 24 nodes.
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%+v", len(tab.Rows), tab.Rows)
+	}
+	if tab.RowTags[0] != "paper" || tab.RowTags[1] != "paper" || tab.RowTags[2] != "huge" {
+		t.Fatalf("row tags = %v, want [paper paper huge]", tab.RowTags)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row %d has %d columns, want 5", i, len(row))
+		}
+		procs, mean, fit := row[0], row[1], row[3]
+		if procs <= 0 || mean <= 0 {
+			t.Fatalf("row %d: degenerate procs=%v mean=%v", i, procs, mean)
+		}
+		if fit <= 0 {
+			t.Fatalf("row %d: non-positive fit value %v", i, fit)
+		}
+	}
+	foundFit := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "paper-range fit") {
+			foundFit = true
+		}
+	}
+	if !foundFit {
+		t.Fatalf("no paper-range fit note in %v", tab.Notes)
+	}
+}
+
+// TestHugeScalingRejectsTinyRange pins the guard against a MaxNodes too
+// small to anchor the fit.
+func TestHugeScalingRejectsTinyRange(t *testing.T) {
+	o := Options{MaxNodes: 8, Calls: 4, Seeds: 1, BaseSeed: 1}
+	if _, err := HugeScaling(o); err == nil {
+		t.Fatal("expected an error for a single-point fit range")
+	}
+}
+
+// TestHugeNodePlan pins the sweep construction: extended points are max/4,
+// max/2, max, deduplicated and strictly above the paper anchors.
+func TestHugeNodePlan(t *testing.T) {
+	paper := hugePaperNodes(1024)
+	if want := []int{8, 16, 32, 59}; !equalInts(paper, want) {
+		t.Fatalf("paper nodes = %v, want %v", paper, want)
+	}
+	huge := hugeNodes(1024, paper)
+	if want := []int{256, 512, 1024}; !equalInts(huge, want) {
+		t.Fatalf("huge nodes = %v, want %v", huge, want)
+	}
+	// Reduced sizes collapse cleanly: overlapping points dedup away.
+	if got := hugeNodes(64, hugePaperNodes(64)); !equalInts(got, []int{64}) {
+		t.Fatalf("huge nodes at max 64 = %v, want [64]", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -83,6 +83,21 @@ func (o Options) withSafeProgress() Options {
 // bit-identical to a serial loop; the first failing job (lowest index)
 // cancels the remaining ones.
 func runAggregateJobs(o Options, jobs []runDesc) ([]runOut, error) {
+	return runJobs(o, jobs, false)
+}
+
+// runStreamedJobs is runAggregateJobs with per-call timings streamed into
+// an online accumulator instead of retained: each run's memory is O(1) in
+// the call count, which is what lets the huge tier sweep 16k-rank clusters.
+// The streamed stddev comes from Welford's update rather than Summarize's
+// two-pass formula, so it is NOT bitwise-comparable to the retained path —
+// only new huge-tier tables use it; every golden path keeps
+// runAggregateJobs.
+func runStreamedJobs(o Options, jobs []runDesc) ([]runOut, error) {
+	return runJobs(o, jobs, true)
+}
+
+func runJobs(o Options, jobs []runDesc, streamed bool) ([]runOut, error) {
 	o = o.withSafeProgress()
 	shard := o.shardWorkers()
 	return parallel.Map(o.workers(), len(jobs), func(i int) (runOut, error) {
@@ -94,16 +109,26 @@ func runAggregateJobs(o Options, jobs []runDesc) ([]runOut, error) {
 		if err != nil {
 			return runOut{}, err
 		}
-		res, err := workload.RunAggregate(c, workload.AggregateSpec{
+		spec := workload.AggregateSpec{
 			Loops: 1, CallsPerLoop: o.callsFor(c.Procs()), Compute: o.ComputeGrain,
-		}, 30*sim.Minute)
+		}
+		var acc stats.Accum
+		if streamed {
+			spec.Stream = func(_ int, us float64) { acc.Add(us) }
+		}
+		res, err := workload.RunAggregate(c, spec, 30*sim.Minute)
 		if err != nil {
 			return runOut{}, err
 		}
 		if !res.Completed {
 			return runOut{}, fmt.Errorf("experiment %s: %d-node run did not complete", j.Label, j.Nodes)
 		}
-		sum := stats.Summarize(res.TimesUS)
+		var sum stats.Summary
+		if streamed {
+			sum = acc.Summary()
+		} else {
+			sum = stats.Summarize(res.TimesUS)
+		}
 		o.progress("%s nodes=%d procs=%d seed=%d mean=%.1fus stddev=%.1fus",
 			j.Label, j.Nodes, c.Procs(), j.SeedIdx, sum.Mean, sum.Stddev)
 		if c.Group != nil {

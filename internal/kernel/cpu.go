@@ -59,7 +59,7 @@ func (c *CPU) tickOffset() sim.Time {
 // after w, honouring the node clock phase.
 func (c *CPU) nextTickAtOrAfter(w sim.Time) sim.Time {
 	grid := c.node.opts.EffectiveTick()
-	off := c.node.opts.Phase + c.tickOffset()
+	off := c.node.phase + c.tickOffset()
 	if w <= off {
 		return off
 	}

@@ -7,11 +7,15 @@ import (
 )
 
 // Node is one SMP node: its CPUs, run queues, timer machinery, and the
-// dispatch policies selected by Options.
+// dispatch policies selected by Options. Options are held by pointer so a
+// cluster of thousands of identically-configured nodes shares one read-only
+// record (see NewNodeShared); the only per-node policy value, the clock
+// phase shifting the tick grid, lives in the node itself.
 type Node struct {
-	eng  *sim.Engine
-	id   int
-	opts Options
+	eng   *sim.Engine
+	id    int
+	opts  *Options // read-only after construction, possibly shared
+	phase sim.Time // this node's tick-grid phase (clock skew)
 
 	cpus    []*CPU
 	globalQ runQueue
@@ -52,12 +56,28 @@ func NewNode(eng *sim.Engine, id int, opts Options) (*Node, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Node{eng: eng, id: id, opts: opts}
+	return newNode(eng, id, &opts, opts.Phase), nil
+}
+
+// NewNodeShared builds a node referencing a shared read-only Options record
+// instead of a private copy, with the node's tick-grid phase supplied
+// separately (opts.Phase is ignored). The caller must validate opts once and
+// must not mutate it afterwards. This is the constructor cluster assembly
+// uses: one Options record serves every node of a 1024-node system.
+func NewNodeShared(eng *sim.Engine, id int, opts *Options, phase sim.Time) (*Node, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return newNode(eng, id, opts, phase), nil
+}
+
+func newNode(eng *sim.Engine, id int, opts *Options, phase sim.Time) *Node {
+	n := &Node{eng: eng, id: id, opts: opts, phase: phase}
 	n.cpus = make([]*CPU, opts.NumCPUs)
 	for i := range n.cpus {
 		n.cpus[i] = &CPU{node: n, idx: i}
 	}
-	return n, nil
+	return n
 }
 
 // MustNode is NewNode for static configurations known to be valid.
@@ -75,8 +95,13 @@ func (n *Node) ID() int { return n.id }
 // Engine returns the simulation engine driving this node.
 func (n *Node) Engine() *sim.Engine { return n.eng }
 
-// Options returns the node's scheduling options.
-func (n *Node) Options() Options { return n.opts }
+// Options returns the node's scheduling options (with Phase reflecting
+// this node's actual tick-grid phase).
+func (n *Node) Options() Options {
+	o := *n.opts
+	o.Phase = n.phase
+	return o
+}
 
 // CPUs returns the node's processors.
 func (n *Node) CPUs() []*CPU { return n.cpus }

@@ -51,9 +51,12 @@ func realRank(eff, rem int) int {
 // and Barrier. A rank runs at most one collective at a time (the
 // continuation-passing style serializes them), so one record whose
 // continuations are bound at first use replaces the O(log N) closures each
-// call used to allocate. Every continuation that hands control back to user
-// code copies the fields it needs to locals first, so the user continuation
-// may start the rank's next collective immediately.
+// call used to allocate. The record is embedded by value in Rank — part of
+// the job's flat rank array rather than a separate lazy heap object — and
+// only the continuations are built on first use. Every continuation that
+// hands control back to user code copies the fields it needs to locals
+// first, so the user continuation may start the rank's next collective
+// immediately.
 type collState struct {
 	r *Rank
 
@@ -82,11 +85,14 @@ type collState struct {
 	bGot  func(float64)
 }
 
-// collective returns the rank's collective state machine, building it on
-// first use.
+// collective returns the rank's collective state machine, binding its
+// continuations on first use. Only called after Launch (collectives run
+// from the program body), so capturing r and s is safe: the rank array no
+// longer moves.
 func (r *Rank) collective() *collState {
-	if r.coll == nil {
-		s := &collState{r: r}
+	s := &r.coll
+	if s.r == nil {
+		s.r = r
 		s.arExchanged = func(v float64) {
 			s.v = v
 			r.thread.Run(r.job.cfg.ReduceCost, s.arReduce)
@@ -138,9 +144,8 @@ func (r *Rank) collective() *collState {
 			s.k++
 			s.bRound()
 		}
-		r.coll = s
 	}
-	return r.coll
+	return s
 }
 
 // arRounds runs recursive-doubling round k (phase 2).

@@ -41,8 +41,8 @@ func (j *Job) hwContribute(tag int, v float64) {
 	lat := j.cfg.HWCollectiveLatency
 	key := msgKey{src: hwSource, tag: tag}
 	j.eng.After(lat, "hwcoll", func() {
-		for _, rk := range j.ranks {
-			rk.deliver(key, message{value: result, bytes: j.cfg.ElemBytes})
+		for i := range j.ranks {
+			j.ranks[i].deliver(key, message{value: result, bytes: j.cfg.ElemBytes})
 		}
 	})
 }

@@ -136,12 +136,19 @@ type FineGrainRegistry interface {
 	ExitFineGrain(node *kernel.Node, proc int)
 }
 
-// Job is one parallel job: a set of ranks placed on nodes.
+// Job is one parallel job: a set of ranks placed on nodes. Ranks live in
+// one flat contiguous array owned by the job (struct-of-arrays layout): a
+// 16k-rank job is a single allocation of rank records instead of 16k
+// scattered heap objects behind a pointer slice. The array may move while
+// AddRank grows it, so interior pointers — and every continuation that
+// captures one — are created only at Launch, after which the array is
+// frozen (AddRank panics).
 type Job struct {
 	eng      *sim.Engine
 	fabric   *network.Fabric
 	cfg      Config
-	ranks    []*Rank
+	ranks    []Rank
+	rankPtrs []*Rank // Ranks() view, rebuilt when the array grows
 	registry Registry
 
 	launched   bool
@@ -212,19 +219,30 @@ func MustJob(eng *sim.Engine, fabric *network.Fabric, cfg Config, registry Regis
 	return j
 }
 
-// AddRank places the next rank on a node, bound to cpu. Returns the rank.
-func (j *Job) AddRank(node *kernel.Node, cpu int) *Rank {
+// Reserve pre-sizes the rank array for n ranks, avoiding growth
+// reallocations while a large job is assembled. Optional: AddRank grows the
+// array on demand.
+func (j *Job) Reserve(n int) {
+	if j.launched {
+		panic("mpi: Reserve after Launch")
+	}
+	if n > cap(j.ranks) {
+		grown := make([]Rank, len(j.ranks), n)
+		copy(grown, j.ranks)
+		j.ranks = grown
+	}
+}
+
+// AddRank places the next rank on a node, bound to cpu. Rank pointers are
+// not handed out here — the flat rank array may still move — so use
+// Ranks() (or the pointer passed to the Launch program) to reach a rank.
+func (j *Job) AddRank(node *kernel.Node, cpu int) {
 	if j.launched {
 		panic("mpi: AddRank after Launch")
 	}
 	id := len(j.ranks)
-	r := &Rank{
-		job:   j,
-		id:    id,
-		node:  node,
-		inbox: map[msgKey][]message{},
-	}
-	r.bindHotPaths()
+	j.ranks = append(j.ranks, Rank{job: j, id: id, node: node})
+	r := &j.ranks[id]
 	proc := 1000 + id // distinct nonzero Proc per task process
 	r.thread = node.NewThread(fmt.Sprintf("rank%d", id), j.cfg.TaskPriority, cpu)
 	r.thread.Proc = proc
@@ -232,15 +250,24 @@ func (j *Job) AddRank(node *kernel.Node, cpu int) *Rank {
 		r.progress = node.NewThread(fmt.Sprintf("mpitimer%d", id), j.cfg.TaskPriority, cpu)
 		r.progress.Proc = proc
 	}
-	j.ranks = append(j.ranks, r)
-	return r
 }
 
 // Size returns the number of ranks.
 func (j *Job) Size() int { return len(j.ranks) }
 
-// Ranks returns the job's ranks in rank order.
-func (j *Job) Ranks() []*Rank { return j.ranks }
+// Ranks returns the job's ranks in rank order. The view is rebuilt whenever
+// the underlying array has grown since the last call, so pointers obtained
+// before further AddRank calls must not be retained; after Launch the array
+// is frozen and the view is stable.
+func (j *Job) Ranks() []*Rank {
+	if len(j.rankPtrs) != len(j.ranks) {
+		j.rankPtrs = make([]*Rank, len(j.ranks))
+		for i := range j.ranks {
+			j.rankPtrs[i] = &j.ranks[i]
+		}
+	}
+	return j.rankPtrs
+}
 
 // Config returns the job's MPI configuration.
 func (j *Job) Config() Config { return j.cfg }
@@ -250,8 +277,8 @@ func (j *Job) Config() Config { return j.cfg }
 // Counters are per rank; call between or after runs.
 func (j *Job) P2PSends() uint64 {
 	var n uint64
-	for _, r := range j.ranks {
-		n += r.p2pSends
+	for i := range j.ranks {
+		n += j.ranks[i].p2pSends
 	}
 	return n
 }
@@ -271,8 +298,11 @@ func (j *Job) Launch(program func(r *Rank)) {
 		panic("mpi: Launch with no ranks")
 	}
 	j.launched = true
-	for _, r := range j.ranks {
-		r := r
+	// The rank array is frozen now; interior pointers are stable from here
+	// on, so this is where every per-rank continuation is bound.
+	for i := range j.ranks {
+		r := &j.ranks[i]
+		r.bindHotPaths()
 		// MPI_Init: the library writes the task PID up the control pipe to
 		// the pmd, which forwards it to the co-scheduler.
 		if j.registry != nil {

@@ -20,14 +20,41 @@ type message struct {
 	bytes int
 }
 
+// arrival is one early-arrived message awaiting its receive. Early arrivals
+// are kept in a small per-rank list in delivery order instead of a
+// map[msgKey][]message: collective tags never repeat (the sequence counter
+// advances every collective), so map keys were inserted and deleted at
+// message rate — the dominant allocation site of the whole simulator at
+// scale. The list's backing array is reused forever; matching scans
+// linearly, which is cheap because a rank has at most a handful of
+// outstanding arrivals (recursive doubling keeps O(log N) in flight, and
+// in practice the list rarely exceeds one or two entries). Scanning from
+// the front preserves FIFO matching per key, because append order is
+// delivery order.
+type arrival struct {
+	key msgKey
+	msg message
+}
+
+// vecArrival is the vector-payload side table's analogue of arrival.
+type vecArrival struct {
+	key msgKey
+	vec []float64
+}
+
 // Rank is one MPI task: a kernel thread bound to a CPU plus the library
-// state (inbox, pending receive, collective sequence counter).
+// state (pending arrivals, pending receive, collective sequence counter).
+// Ranks live in the Job's flat ranks array (struct-of-arrays layout): one
+// contiguous allocation for the whole job instead of a pointer slice of
+// thousands of individually heap-allocated rank objects. Rank pointers are
+// stable only once Launch has frozen the array, which is why every
+// continuation is bound at Launch time, never at AddRank time.
 //
 // The point-to-point hot paths (Send, Recv, SendRecv) stage their per-call
 // arguments in rank fields and hand the scheduler continuations that were
-// bound once at rank creation, instead of allocating fresh closures per
-// message. This is safe because a rank performs at most one communication
-// call at a time (continuation-passing style serializes them); each bound
+// bound once at launch, instead of allocating fresh closures per message.
+// This is safe because a rank performs at most one communication call at a
+// time (continuation-passing style serializes them); each bound
 // continuation copies the staged fields to locals before invoking user code,
 // so a nested call may re-stage them freely.
 type Rank struct {
@@ -38,8 +65,8 @@ type Rank struct {
 	thread   *kernel.Thread
 	progress *kernel.Thread
 
-	inbox    map[msgKey][]message
-	vecInbox map[msgKey][][]float64 // side table for vector payloads
+	pending    []arrival    // early arrivals in delivery order, backing array reused
+	vecPending []vecArrival // vector payloads riding the side table
 
 	// Pending receive (at most one per rank, MPI semantics).
 	recvArmed bool
@@ -63,7 +90,7 @@ type Rank struct {
 	srThen     func(float64)
 	srRecvStep func() // bound: posts the Recv after the Send completes
 
-	coll *collState // reusable collective state machine (lazily built)
+	coll collState // reusable collective state machine (continuations bound on first use)
 
 	// deliveryPool recycles in-flight delivery records (see delivery); it
 	// is per rank so each pool stays on one engine shard.
@@ -76,6 +103,7 @@ type Rank struct {
 }
 
 // bindHotPaths builds the per-rank continuations reused by every Send/Recv.
+// Called from Launch, once the rank array can no longer move.
 func (r *Rank) bindHotPaths() {
 	r.recvDone = func() {
 		then, v := r.recvThen, r.recvGot.value
@@ -90,7 +118,7 @@ func (r *Rank) bindHotPaths() {
 		msg := message{value: r.sendValue, bytes: r.sendBytes}
 		r.sendThen = nil
 		r.p2pSends++
-		target := r.job.ranks[dst]
+		target := &r.job.ranks[dst]
 		d := r.newDelivery(target, msgKey{src: r.id, tag: tag}, msg)
 		r.job.fabric.Send(r.node.ID(), target.node.ID(), msg.bytes, d.fire)
 		then()
@@ -199,19 +227,28 @@ func (r *Rank) Send(dst, tag int, value float64, bytes int, then func()) {
 	r.thread.Run(r.job.cfg.SendOverhead, r.sendStep)
 }
 
+// takePending removes and returns the oldest arrival matching key.
+// Removal shifts the tail left in place, preserving delivery order (and so
+// FIFO matching per key) without allocating.
+func (r *Rank) takePending(key msgKey) (message, bool) {
+	for i := range r.pending {
+		if r.pending[i].key == key {
+			msg := r.pending[i].msg
+			copy(r.pending[i:], r.pending[i+1:])
+			r.pending = r.pending[:len(r.pending)-1]
+			return msg, true
+		}
+	}
+	return message{}, false
+}
+
 // Recv waits for a message from src under tag and continues with its value.
 // If the message already arrived it completes after the receive overhead;
 // otherwise the task blocks (the progress engine and scheduler decide when
 // it runs again — this is precisely where OS noise injects latency).
 func (r *Rank) Recv(src, tag int, then func(value float64)) {
 	key := msgKey{src: src, tag: tag}
-	if q := r.inbox[key]; len(q) > 0 {
-		msg := q[0]
-		if len(q) == 1 {
-			delete(r.inbox, key)
-		} else {
-			r.inbox[key] = q[1:]
-		}
+	if msg, ok := r.takePending(key); ok {
 		r.recvGot, r.recvThen = msg, then
 		r.thread.Run(r.job.cfg.RecvOverhead, r.recvDone)
 		return
@@ -242,7 +279,7 @@ func (r *Rank) deliver(key msgKey, msg message) {
 		}
 		return
 	}
-	r.inbox[key] = append(r.inbox[key], msg)
+	r.pending = append(r.pending, arrival{key: key, msg: msg})
 }
 
 // SendRecv exchanges with a partner: post the send, then wait for the

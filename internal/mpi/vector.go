@@ -23,7 +23,8 @@ func vecAdd(dst, src []float64) {
 
 // sendVec/recvVec move a vector slice through the regular matching layer.
 // The payload travels out-of-band (attached to the message value channel is
-// scalar-only), so vectors ride a side table keyed by (src, tag).
+// scalar-only), so vectors ride a side list keyed by (src, tag), matched
+// FIFO per key like the scalar pending list.
 func (r *Rank) sendVec(dst, tag int, vec []float64, then func()) {
 	if dst < 0 || dst >= len(r.job.ranks) {
 		panic("mpi: sendVec to invalid rank")
@@ -33,13 +34,10 @@ func (r *Rank) sendVec(dst, tag int, vec []float64, then func()) {
 	bytes := len(vec) * r.job.cfg.ElemBytes
 	r.thread.Run(r.job.cfg.SendOverhead, func() {
 		r.p2pSends++
-		target := r.job.ranks[dst]
+		target := &r.job.ranks[dst]
 		key := msgKey{src: r.id, tag: tag}
 		r.job.fabric.Send(r.node.ID(), target.node.ID(), bytes, func() {
-			if target.vecInbox == nil {
-				target.vecInbox = map[msgKey][][]float64{}
-			}
-			target.vecInbox[key] = append(target.vecInbox[key], payload)
+			target.vecPending = append(target.vecPending, vecArrival{key: key, vec: payload})
 			target.deliver(key, message{bytes: bytes})
 		})
 		then()
@@ -49,17 +47,17 @@ func (r *Rank) sendVec(dst, tag int, vec []float64, then func()) {
 func (r *Rank) recvVec(src, tag int, then func(vec []float64)) {
 	key := msgKey{src: src, tag: tag}
 	r.Recv(src, tag, func(float64) {
-		q := r.vecInbox[key]
-		if len(q) == 0 {
-			panic("mpi: vector receive without payload")
+		for i := range r.vecPending {
+			if r.vecPending[i].key == key {
+				vec := r.vecPending[i].vec
+				copy(r.vecPending[i:], r.vecPending[i+1:])
+				r.vecPending[len(r.vecPending)-1] = vecArrival{} // release the payload reference
+				r.vecPending = r.vecPending[:len(r.vecPending)-1]
+				then(vec)
+				return
+			}
 		}
-		vec := q[0]
-		if len(q) == 1 {
-			delete(r.vecInbox, key)
-		} else {
-			r.vecInbox[key] = q[1:]
-		}
-		then(vec)
+		panic("mpi: vector receive without payload")
 	})
 }
 

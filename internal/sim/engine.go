@@ -293,7 +293,8 @@ func (e *Engine) After(d Time, label string, fn func()) *Event {
 }
 
 // Recur schedules a recurring event: fn runs at first, and its return value
-// is the next fire time (or RecurStop to end the series). The event is
+// is the next fire time — an absolute time strictly after Now, not an
+// interval — or RecurStop to end the series. The event is
 // re-armed in place — no per-firing allocation — but each re-arm draws a
 // fresh sequence number exactly as a trailing At would, so firing order
 // among same-time events is identical to the schedule-fire-reschedule
@@ -396,8 +397,11 @@ func (e *Engine) Step() bool {
 			e.recycle(ev)
 			return true
 		}
-		if next < e.now {
-			panic(fmt.Sprintf("sim: recurring %q returned %v before now %v", ev.label, next, e.now))
+		if next <= e.now {
+			// The callback returns the next absolute time, not an interval.
+			// Re-arming at now would refire the same callback at the same
+			// instant forever; fail loudly instead of looping silently.
+			panic(fmt.Sprintf("sim: recurring %q returned %v, not after now %v", ev.label, next, e.now))
 		}
 		// Re-arm in place. The sequence number is drawn here, after the
 		// callback, matching the trailing-At idiom this replaces.

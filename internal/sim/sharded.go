@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -33,8 +34,11 @@ type GroupStats struct {
 	// CrossShardEvents is the number of events staged across shards and
 	// merged at window barriers.
 	CrossShardEvents uint64
-	// BarrierStallNs is wall-clock time worker goroutines spent waiting at
-	// window barriers while a slower shard finished (load imbalance).
+	// BarrierStallNs is wall-clock time window participants spent waiting
+	// at window barriers while a slower participant finished (load
+	// imbalance): the sum over participants of (lastFinish - ownFinish).
+	// Only goroutines that executed shards in the window count — parked
+	// pool workers do not accrue stall.
 	BarrierStallNs int64
 }
 
@@ -171,7 +175,20 @@ func (g *ShardGroup) Run(until Time) uint64 {
 		return active
 	}
 
-	if g.workers <= 1 || len(g.shards) == 1 {
+	// Effective dispatch width: the configured budget, clamped to the shard
+	// count and to the machine. Workers beyond GOMAXPROCS cannot run
+	// concurrently anyway — they only queue behind each other and inflate
+	// barrier-stall accounting (a 4-worker group on a 1-core box used to
+	// report ~3x the busy time as "stall" that was pure oversubscription).
+	w := g.workers
+	if mp := runtime.GOMAXPROCS(0); w > mp {
+		w = mp
+	}
+	if w > len(g.shards) {
+		w = len(g.shards)
+	}
+
+	if w <= 1 || len(g.shards) == 1 {
 		// Serial windowed execution: same window/merge discipline, no
 		// goroutines. This is also the differential reference for the
 		// parallel path.
@@ -191,21 +208,36 @@ func (g *ShardGroup) Run(until Time) uint64 {
 		return g.Fired() - startFired
 	}
 
-	w := g.workers
-	if w > len(g.shards) {
-		w = len(g.shards)
+	// Parallel windowed execution. The coordinator participates as a
+	// worker, so only w-1 pool goroutines exist, and they park on the wake
+	// channel between windows instead of being fed per-shard jobs. Within a
+	// window, participants claim active shards through an atomic cursor —
+	// a window with fewer runnable shards than workers wakes only as many
+	// participants as there are shards, and the rest stay parked.
+	var (
+		act      []*Engine
+		end      Time
+		cursor   atomic.Int64 // next index in act to claim
+		pids     atomic.Int64 // participant finish-slot allocator
+		finishNs = make([]int64, w)
+		wg       sync.WaitGroup
+	)
+	claim := func(t0 time.Time) {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(act) {
+				break
+			}
+			act[i].runWindow(end)
+		}
+		finishNs[pids.Add(1)-1] = time.Since(t0).Nanoseconds()
 	}
-	jobs := make(chan *Engine, len(g.shards))
-	defer close(jobs)
-	var wg sync.WaitGroup
-	var busyNs atomic.Int64
-	var end Time // written by the coordinator before dispatch; the channel send orders it
-	for i := 0; i < w; i++ {
+	wake := make(chan time.Time, w)
+	defer close(wake)
+	for i := 1; i < w; i++ {
 		go func() {
-			for sh := range jobs {
-				t0 := time.Now()
-				sh.runWindow(end)
-				busyNs.Add(time.Since(t0).Nanoseconds())
+			for t0 := range wake {
+				claim(t0)
 				wg.Done()
 			}
 		}()
@@ -216,23 +248,31 @@ func (g *ShardGroup) Run(until Time) uint64 {
 		if !ok {
 			break
 		}
-		act := collect(end)
+		act = collect(end)
 		if len(act) == 1 {
 			act[0].runWindow(end)
 		} else {
 			t0 := time.Now()
-			busyNs.Store(0)
-			wg.Add(len(act))
-			for _, sh := range act {
-				jobs <- sh
+			cursor.Store(0)
+			pids.Store(0)
+			participants := w
+			if participants > len(act) {
+				participants = len(act)
 			}
+			wg.Add(participants - 1)
+			for i := 1; i < participants; i++ {
+				wake <- t0
+			}
+			claim(t0)
 			wg.Wait()
-			wall := time.Since(t0).Nanoseconds()
-			slots := int64(w)
-			if int64(len(act)) < slots {
-				slots = int64(len(act))
+			var maxNs, sumNs int64
+			for _, f := range finishNs[:participants] {
+				sumNs += f
+				if f > maxNs {
+					maxNs = f
+				}
 			}
-			if stall := slots*wall - busyNs.Load(); stall > 0 {
+			if stall := int64(participants)*maxNs - sumNs; stall > 0 {
 				g.stats.BarrierStallNs += stall
 			}
 			g.stats.ParallelWindows++

@@ -28,18 +28,68 @@ const (
 	farShift   = nearShift + wheelBits // 2^20 ns = 1.049ms per far slot
 
 	nearSlotWidth = Time(1) << nearShift
+
+	// slotChunkEntries sizes a slot chunk so the whole struct (16-byte
+	// header + entries) fits Go's 2048-byte allocation class exactly.
+	slotChunkEntries = 63
 )
+
+// slotChunk is one fixed-size block of a slot's entry list. Slot lists are
+// unordered, so chunks only ever append and are drained whole; emptied
+// chunks return to the wheel's shared spare list. Sharing is the point: at
+// high node counts a single 4.096us slot can hold thousands of entries (an
+// Allreduce round schedules every rank within one slot), and per-slot
+// growable arrays would both pay a doubling-growth chain on every burst and
+// pin each slot at its own high-water mark. Chunks make the burst's storage
+// follow the burst across slots as the frontier advances — steady-state
+// slot storage is bounded by the peak number of simultaneously pending
+// entries, not by (slots x largest burst).
+type slotChunk struct {
+	next *slotChunk
+	n    int
+	ents [slotChunkEntries]entry
+}
+
+// slotList is a chunked slot: append at tail, drain whole.
+type slotList struct {
+	head, tail *slotChunk
+}
 
 type wheel struct {
 	frontier  Time // slot-aligned; imminent holds everything below it
 	imminent  entryHeap
-	near      [wheelSlots][]entry
-	far       [wheelSlots][]entry
+	near      [wheelSlots]slotList
+	far       [wheelSlots]slotList
 	nearBits  [wheelSlots / 64]uint64
 	farBits   [wheelSlots / 64]uint64
 	nearCount int
 	farCount  int
 	overflow  entryHeap
+	spare     *slotChunk // emptied chunks, shared by every slot of both wheels
+}
+
+// slotPush appends an entry to a slot, extending it with a spare (or new)
+// chunk when the tail is full.
+func (w *wheel) slotPush(sl *slotList, en entry) {
+	t := sl.tail
+	if t == nil || t.n == slotChunkEntries {
+		c := w.spare
+		if c != nil {
+			w.spare = c.next
+			c.next = nil
+		} else {
+			c = new(slotChunk)
+		}
+		if t == nil {
+			sl.head = c
+		} else {
+			t.next = c
+		}
+		sl.tail = c
+		t = c
+	}
+	t.ents[t.n] = en
+	t.n++
 }
 
 // insert places an entry into the level its time belongs to.
@@ -52,7 +102,7 @@ func (w *wheel) insert(en entry) {
 	slot := t >> nearShift
 	if slot-(w.frontier>>nearShift) < wheelSlots {
 		i := slot & wheelMask
-		w.near[i] = append(w.near[i], en)
+		w.slotPush(&w.near[i], en)
 		w.nearBits[i>>6] |= 1 << (uint(i) & 63)
 		w.nearCount++
 		return
@@ -60,7 +110,7 @@ func (w *wheel) insert(en entry) {
 	fslot := t >> farShift
 	if fslot-(w.frontier>>farShift) < wheelSlots {
 		i := fslot & wheelMask
-		w.far[i] = append(w.far[i], en)
+		w.slotPush(&w.far[i], en)
 		w.farBits[i>>6] |= 1 << (uint(i) & 63)
 		w.farCount++
 		return
@@ -68,34 +118,50 @@ func (w *wheel) insert(en entry) {
 	w.overflow.push(en)
 }
 
+// drainSlot empties a slot list, calling fire for each entry (live or not —
+// the caller filters) and recycling every chunk onto the spare list. Chunks
+// are released one at a time, after their entries have been visited, so
+// fire may itself pull chunks from the spare list (cascadeFar re-inserts
+// into near slots mid-drain).
+func (w *wheel) drainSlot(sl *slotList, fire func(entry)) int {
+	drained := 0
+	c := sl.head
+	sl.head, sl.tail = nil, nil
+	for c != nil {
+		for j := 0; j < c.n; j++ {
+			fire(c.ents[j])
+			c.ents[j] = entry{} // release the *Event reference
+		}
+		drained += c.n
+		next := c.next
+		c.n = 0
+		c.next = w.spare
+		w.spare = c
+		c = next
+	}
+	return drained
+}
+
 // drainNear tips near slot index i into the imminent heap, dropping stale
-// entries. The slot's backing array is kept for reuse.
+// entries.
 func (w *wheel) drainNear(i int) {
-	lst := w.near[i]
-	w.near[i] = lst[:0]
 	w.nearBits[i>>6] &^= 1 << (uint(i) & 63)
-	w.nearCount -= len(lst)
-	for j, en := range lst {
+	w.nearCount -= w.drainSlot(&w.near[i], func(en entry) {
 		if en.live() {
 			w.imminent.push(en)
 		}
-		lst[j] = entry{} // release *Event references held by the spare capacity
-	}
+	})
 }
 
 // cascadeFar redistributes far slot index i into the near wheel (which, at
 // the moment of the call, exactly spans that far slot's time range).
 func (w *wheel) cascadeFar(i int) {
-	lst := w.far[i]
-	w.far[i] = lst[:0]
 	w.farBits[i>>6] &^= 1 << (uint(i) & 63)
-	w.farCount -= len(lst)
-	for j, en := range lst {
+	w.farCount -= w.drainSlot(&w.far[i], func(en entry) {
 		if en.live() {
 			w.insert(en)
 		}
-		lst[j] = entry{}
-	}
+	})
 }
 
 // drainOverflow admits overflow entries that now fall within the far

@@ -1,0 +1,72 @@
+package stats
+
+import "math"
+
+// Accum is a streaming accumulator producing the same descriptive
+// statistics as Summarize without retaining the sample: the huge sweep tier
+// observes millions of per-call timings and cannot hold them all. It uses
+// Welford's online algorithm for the variance, which is numerically stable
+// where the naive sum-of-squares update is not.
+//
+// Accum cannot produce a median (that requires the sample), so its Summary
+// reports the mean in the Median field with Exact=false semantics: callers
+// that need true medians must keep the sample and use Summarize. The
+// existing golden paths all do — Accum serves only the streaming sweeps,
+// whose tables report mean and stddev.
+type Accum struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+	sum      float64
+}
+
+// Add observes one value.
+func (a *Accum) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.sum += x
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accum) N() int { return a.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (a *Accum) Mean() float64 { return a.mean }
+
+// Stddev returns the sample standard deviation (n-1 denominator, matching
+// Summarize), 0 when fewer than two values were observed.
+func (a *Accum) Stddev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Summary converts the accumulated state into the Summary shape. Median is
+// approximated by the mean — see the type comment.
+func (a *Accum) Summary() Summary {
+	if a.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      a.n,
+		Mean:   a.mean,
+		Median: a.mean,
+		Min:    a.min,
+		Max:    a.max,
+		Stddev: a.Stddev(),
+		Sum:    a.sum,
+	}
+}

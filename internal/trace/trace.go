@@ -28,11 +28,17 @@ type Record struct {
 	Mark   string // set on application marks
 }
 
-// Buffer collects records up to a capacity, then drops (counting drops),
-// like a fixed-size kernel trace buffer. It implements kernel.EventSink.
+// Buffer collects records into a fixed-capacity ring, like a circular
+// kernel trace buffer: once full it overwrites the oldest record in place
+// (counting overwrites as drops), so memory is bounded by the capacity and
+// the steady-state capture path allocates nothing. Storage grows on demand
+// up to the capacity rather than being preallocated — a buffer sized for
+// millions of records that captures thousands costs only thousands. It
+// implements kernel.EventSink.
 type Buffer struct {
 	capacity int
-	recs     []Record
+	recs     []Record // ring storage; oldest record at head once full
+	head     int      // write position == oldest record when len == capacity
 	dropped  uint64
 	enabled  bool
 	nodeOnly int // -1: all nodes
@@ -55,15 +61,33 @@ func (b *Buffer) FilterNode(node int) { b.nodeOnly = node }
 // interesting signal.
 func (b *Buffer) SkipTicks(skip bool) { b.skipTick = skip }
 
-// Dropped reports how many records were lost to capacity.
+// Dropped reports how many records were overwritten after the ring filled.
 func (b *Buffer) Dropped() uint64 { return b.dropped }
 
-// Records returns the captured records in order.
-func (b *Buffer) Records() []Record { return b.recs }
+// Records returns the captured records in chronological order. When the
+// ring has wrapped, the storage is rotated in place first (three-reversal
+// rotation: O(n) time, zero allocation), so repeated calls are cheap.
+func (b *Buffer) Records() []Record {
+	if b.head != 0 {
+		reverseRecords(b.recs[:b.head])
+		reverseRecords(b.recs[b.head:])
+		reverseRecords(b.recs)
+		b.head = 0
+	}
+	return b.recs
+}
 
-// Reset clears the buffer.
+func reverseRecords(rs []Record) {
+	for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
+		rs[i], rs[j] = rs[j], rs[i]
+	}
+}
+
+// Reset clears the buffer, keeping the ring storage for reuse.
 func (b *Buffer) Reset() {
+	clear(b.recs)
 	b.recs = b.recs[:0]
+	b.head = 0
 	b.dropped = 0
 }
 
@@ -74,11 +98,21 @@ func (b *Buffer) push(r Record) {
 	if b.nodeOnly >= 0 && r.Node != b.nodeOnly && r.Mark == "" {
 		return
 	}
-	if len(b.recs) >= b.capacity {
+	if len(b.recs) < b.capacity {
+		b.recs = append(b.recs, r)
+		return
+	}
+	if len(b.recs) == 0 { // zero-capacity buffer
 		b.dropped++
 		return
 	}
-	b.recs = append(b.recs, r)
+	// Ring is full: overwrite the oldest record in place.
+	b.recs[b.head] = r
+	b.head++
+	if b.head == len(b.recs) {
+		b.head = 0
+	}
+	b.dropped++
 }
 
 // KernelEvent implements kernel.EventSink.

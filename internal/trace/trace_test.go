@@ -13,8 +13,13 @@ func TestBufferCapacityAndDrops(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		b.Mark(sim.Time(i), 0, "m")
 	}
-	if len(b.Records()) != 2 {
-		t.Fatalf("records = %d, want 2", len(b.Records()))
+	recs := b.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	// Ring semantics: the oldest records are overwritten, the newest kept.
+	if recs[0].Time != 3 || recs[1].Time != 4 {
+		t.Fatalf("ring kept times %v and %v, want 3 and 4", recs[0].Time, recs[1].Time)
 	}
 	if b.Dropped() != 3 {
 		t.Fatalf("dropped = %d, want 3", b.Dropped())
@@ -22,6 +27,67 @@ func TestBufferCapacityAndDrops(t *testing.T) {
 	b.Reset()
 	if len(b.Records()) != 0 || b.Dropped() != 0 {
 		t.Fatal("Reset did not clear")
+	}
+}
+
+// TestBufferWraparoundChronological pins that Records stays in time order
+// across arbitrary wrap points, including pushes after a rotation.
+func TestBufferWraparoundChronological(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Mark(sim.Time(i), 0, "m")
+	}
+	check := func(wantFirst sim.Time) {
+		t.Helper()
+		recs := b.Records()
+		if len(recs) != 4 {
+			t.Fatalf("records = %d, want 4", len(recs))
+		}
+		for i, r := range recs {
+			if want := wantFirst + sim.Time(i); r.Time != want {
+				t.Fatalf("records[%d].Time = %v, want %v (full: %v)", i, r.Time, want, recs)
+			}
+		}
+	}
+	check(6)
+	// Records rotated the ring in place; continue pushing and re-check.
+	for i := 10; i < 13; i++ {
+		b.Mark(sim.Time(i), 0, "m")
+	}
+	check(9)
+	if b.Dropped() != 9 {
+		t.Fatalf("dropped = %d, want 9", b.Dropped())
+	}
+}
+
+// TestBufferGrowOnDemand pins that a large-capacity buffer does not
+// preallocate: the figure harness sizes buffers for millions of records but
+// most runs capture far fewer.
+func TestBufferGrowOnDemand(t *testing.T) {
+	b := NewBuffer(4 << 20)
+	for i := 0; i < 10; i++ {
+		b.Mark(sim.Time(i), 0, "m")
+	}
+	if c := cap(b.recs); c > 1024 {
+		t.Fatalf("capacity-%d buffer allocated %d record slots for 10 records", 4<<20, c)
+	}
+}
+
+// TestBufferRingRecordReuse pins the steady-state allocation contract: once
+// the ring has filled, pushing overwrites records in place and allocates
+// nothing.
+func TestBufferRingRecordReuse(t *testing.T) {
+	b := NewBuffer(256)
+	for i := 0; i < 512; i++ { // fill and wrap to warm the ring
+		b.KernelEvent(sim.Time(i), 0, 0, kernel.EvIPI, nil, 0)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 64; i++ {
+			b.KernelEvent(sim.Time(i), 0, 0, kernel.EvIPI, nil, 0)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ring allocated %.1f times per 64 pushes, want 0", allocs)
 	}
 }
 

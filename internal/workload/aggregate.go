@@ -38,6 +38,11 @@ type AggregateSpec struct {
 	ComputeJitter sim.Time
 	// Tracer receives the marks (may be nil).
 	Tracer *trace.Buffer
+	// Stream, when non-nil, receives each timed call's wall time (rank 0's
+	// clock, microseconds) as it completes, and the result retains no
+	// per-call slices: TimesUS and Starts stay empty. The huge sweep tier
+	// uses this to aggregate millions of timings without holding them.
+	Stream func(callIndex int, us float64)
 }
 
 // WorkFor returns rank's compute cost before timed call number call: a pure
@@ -71,10 +76,11 @@ func (s AggregateSpec) Validate() error {
 // collective's synchronizing property makes representative of the job.
 type AggregateResult struct {
 	// TimesUS is the wall time of every Allreduce, in microseconds, in
-	// call order (Loops*CallsPerLoop entries).
+	// call order (Loops*CallsPerLoop entries). Empty when the spec streams
+	// timings instead of retaining them.
 	TimesUS []float64
 	// Starts records when each timed call began (rank 0's clock), for
-	// trace-interval attribution of outliers.
+	// trace-interval attribution of outliers. Empty when streaming.
 	Starts []sim.Time
 	// Wall is total benchmark wall time.
 	Wall sim.Time
@@ -89,7 +95,10 @@ func RunAggregate(c *cluster.Cluster, spec AggregateSpec, horizon sim.Time) (Agg
 		return AggregateResult{}, err
 	}
 	total := spec.Loops * spec.CallsPerLoop
-	res := AggregateResult{TimesUS: make([]float64, 0, total)}
+	var res AggregateResult
+	if spec.Stream == nil {
+		res.TimesUS = make([]float64, 0, total)
+	}
 	src := c.Eng.Source()
 	var t0 sim.Time
 
@@ -110,13 +119,19 @@ func RunAggregate(c *cluster.Cluster, spec AggregateSpec, horizon sim.Time) (Agg
 			mark(r, i, "begin")
 			if r.ID() == 0 {
 				t0 = r.Now()
-				res.Starts = append(res.Starts, t0)
+				if spec.Stream == nil {
+					res.Starts = append(res.Starts, t0)
+				}
 			}
 			r.Allreduce(float64(i), after)
 		}
 		after = func(float64) {
 			if r.ID() == 0 {
-				res.TimesUS = append(res.TimesUS, (r.Now() - t0).Micros())
+				if spec.Stream != nil {
+					spec.Stream(i, (r.Now()-t0).Micros())
+				} else {
+					res.TimesUS = append(res.TimesUS, (r.Now()-t0).Micros())
+				}
 			}
 			mark(r, i, "end")
 			i++
