@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-sharded bench bench-engine bench-pdes bench-mem bench-check huge huge-smoke profile check
+.PHONY: build test vet race race-sharded bench bench-engine bench-pdes bench-mem bench-check huge huge-smoke fault-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,16 @@ huge:
 # still sharded, still streamed.
 huge-smoke:
 	GOMAXPROCS=2 $(GO) run ./cmd/parsim run huge -nodes 64 -calls 8 -seeds 1 -procs 2 -shard-procs 2
+
+# fault-smoke exercises the resilience layer end to end: the fault-injection
+# and quarantine test set under the race detector (crashes, drops, retries,
+# partitions, stalls, supervisor respawns, checkpoint resume), then a small
+# abl-fault sweep through the real CLI on the sharded core. The sweep's
+# rendered bytes are also pinned by TestGoldenHashes, so this target is a
+# smoke test, not the determinism gate.
+fault-smoke:
+	$(GO) test -race -count=1 -run 'Fault|Quarantine|Supervisor|Respawn|Checkpoint|Panic|Deadline' ./internal/...
+	GOMAXPROCS=2 $(GO) run ./cmd/parsim run abl-fault -nodes 4 -calls 24 -seeds 1 -procs 2 -shard-procs 2
 
 # profile runs a representative sweep under the CPU and allocation profilers
 # and prints the top CPU consumers. Inspect interactively with

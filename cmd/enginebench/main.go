@@ -33,6 +33,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"testing"
 	"time"
 
@@ -431,30 +432,49 @@ func runPDES(out string, reps int) {
 	writeJSON(out, rep)
 }
 
+// loadBaseline reads and unmarshals one committed benchmark baseline. A
+// missing or malformed file fails with the make target that regenerates it,
+// instead of a bare open/unmarshal error (or a silent "pass" over an empty
+// report).
+func loadBaseline(path, flagName, regen string, v any) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enginebench: %s: %v\nregenerate the baseline with `make %s` and commit %s\n",
+			flagName, err, regen, path)
+		os.Exit(1)
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		fmt.Fprintf(os.Stderr, "enginebench: %s: %s is not a valid baseline report: %v\nregenerate it with `make %s`\n",
+			flagName, path, err, regen)
+		os.Exit(1)
+	}
+}
+
+// failMissingGuards aborts the check when guarded scenarios have no usable
+// reference in the baseline: skipping them silently would let the guard
+// report "passed" while guarding nothing.
+func failMissingGuards(missing []string, against, regen string) {
+	if len(missing) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "enginebench: %s has no usable entry for guarded scenario(s) %s\nregenerate it with `make %s` and commit the result\n",
+		against, strings.Join(missing, ", "), regen)
+	os.Exit(1)
+}
+
 // runCheck is the CI perf guard: re-measure the acceptance scenarios
 // wheel-only and compare events/s against the committed report.
 func runCheck(against string, reps int, tolerance float64) {
-	buf, err := os.ReadFile(against)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "enginebench: -against:", err)
-		os.Exit(1)
-	}
 	var committed report
-	if err := json.Unmarshal(buf, &committed); err != nil {
-		fmt.Fprintln(os.Stderr, "enginebench: -against:", err)
-		os.Exit(1)
-	}
+	loadBaseline(against, "-against", "bench-engine", &committed)
 	want := map[string]measurement{}
 	for _, c := range committed.Scenarios {
 		want[c.Name] = c.Wheel
 	}
 	guarded := []string{"engine-throughput", "node-tick-heavy"}
 	failed := false
+	var missing []string
 	for _, s := range scenarios() {
-		ref, ok := want[s.name]
-		if !ok || ref.EventsPerSec <= 0 {
-			continue
-		}
 		keep := false
 		for _, g := range guarded {
 			if s.name == g {
@@ -462,6 +482,11 @@ func runCheck(against string, reps int, tolerance float64) {
 			}
 		}
 		if !keep {
+			continue
+		}
+		ref, ok := want[s.name]
+		if !ok || ref.EventsPerSec <= 0 {
+			missing = append(missing, s.name)
 			continue
 		}
 		got := measure(s, sim.CoreWheel, reps)
@@ -474,6 +499,7 @@ func runCheck(against string, reps int, tolerance float64) {
 		fmt.Fprintf(os.Stderr, "%-18s %.3gM ev/s vs committed %.3gM ev/s (%.2fx) %s\n",
 			s.name, got.EventsPerSec/1e6, ref.EventsPerSec/1e6, ratio, status)
 	}
+	failMissingGuards(missing, against, "bench-engine")
 	if failed {
 		fmt.Fprintf(os.Stderr, "enginebench: wheel throughput regressed more than %.0f%% vs %s\n",
 			tolerance*100, against)
@@ -488,25 +514,22 @@ func runCheck(against string, reps int, tolerance float64) {
 // stream refactor could introduce). Serial wheel throughput is compared
 // against the committed bench_pdes.json.
 func runPDESCheck(against string, reps int, tolerance float64) {
-	buf, err := os.ReadFile(against)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "enginebench: -pdes-against:", err)
-		os.Exit(1)
-	}
 	var committed pdesReport
-	if err := json.Unmarshal(buf, &committed); err != nil {
-		fmt.Fprintln(os.Stderr, "enginebench: -pdes-against:", err)
-		os.Exit(1)
-	}
+	loadBaseline(against, "-pdes-against", "bench-pdes", &committed)
 	want := map[string]measurement{}
 	for _, c := range committed.Scenarios {
 		want[c.Name] = c.Serial
 	}
 	guarded := map[string]bool{"pdes-cluster-8": true, "pdes-jitter-8": true}
 	failed := false
+	var missing []string
 	for _, s := range pdesScenarios() {
+		if !guarded[s.name] {
+			continue
+		}
 		ref, ok := want[s.name]
-		if !ok || ref.EventsPerSec <= 0 || !guarded[s.name] {
+		if !ok || ref.EventsPerSec <= 0 {
+			missing = append(missing, s.name)
 			continue
 		}
 		got := measure(scenario{name: s.name, run: pdesBody(s, 0)}, sim.CoreWheel, reps)
@@ -519,6 +542,7 @@ func runPDESCheck(against string, reps int, tolerance float64) {
 		fmt.Fprintf(os.Stderr, "%-18s %.3gM ev/s vs committed %.3gM ev/s (%.2fx) %s\n",
 			s.name, got.EventsPerSec/1e6, ref.EventsPerSec/1e6, ratio, status)
 	}
+	failMissingGuards(missing, against, "bench-pdes")
 	if failed {
 		fmt.Fprintf(os.Stderr, "enginebench: pdes throughput regressed more than %.0f%% vs %s\n",
 			tolerance*100, against)

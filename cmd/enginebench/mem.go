@@ -303,18 +303,11 @@ func runMem(out, basePath string, reps int) {
 // Allocation per event is nearly deterministic for a fixed seed, so the
 // tolerance can be much tighter than the throughput guard's.
 func runMemCheck(against string, reps int, tolerance float64) {
-	buf, err := os.ReadFile(against)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "enginebench: -mem-against:", err)
-		os.Exit(1)
-	}
 	var committed memReport
-	if err := json.Unmarshal(buf, &committed); err != nil {
-		fmt.Fprintln(os.Stderr, "enginebench: -mem-against:", err)
-		os.Exit(1)
-	}
+	loadBaseline(against, "-mem-against", "bench-mem", &committed)
 	guarded := map[string]bool{"pdes-cluster-8": true, "pdes-jitter-8": true}
 	failed := false
+	var missing []string
 	for _, s := range memScenarios() {
 		if !guarded[s.name] {
 			continue
@@ -327,6 +320,7 @@ func runMemCheck(against string, reps int, tolerance float64) {
 			}
 		}
 		if ref == nil {
+			missing = append(missing, s.name)
 			continue
 		}
 		got, err := measureMem(s, reps)
@@ -343,6 +337,7 @@ func runMemCheck(against string, reps int, tolerance float64) {
 		fmt.Fprintf(os.Stderr, "%-18s %.0f B/ev vs committed %.0f B/ev (%.2fx) %s\n",
 			s.name, got.BytesPerEvent, ref.BytesPerEvent, ratio, status)
 	}
+	failMissingGuards(missing, against, "bench-mem")
 	if failed {
 		fmt.Fprintf(os.Stderr, "enginebench: bytes per event regressed more than %.0f%% vs %s\n",
 			tolerance*100, against)

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"coschedsim/internal/experiment"
@@ -56,10 +57,57 @@ func run() int {
 		shardProcs := fs.Int("shard-procs", 0, "workers per single run on the sharded engine core (carved out of -procs; 0/1 = serial engine per run)")
 		csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose := fs.Bool("v", false, "print per-run progress")
+		checkpoint := fs.String("checkpoint", "", "append per-run results to this JSONL file as the sweep progresses")
+		resume := fs.Bool("resume", false, "replay completed runs from the -checkpoint file instead of re-simulating them")
+		runDeadline := fs.Duration("run-deadline", 0, "wall-clock budget per simulation run; over-budget runs are quarantined")
 		cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		names, err := parseInterleaved(fs, os.Args[2:])
 		if err != nil {
+			return 2
+		}
+		// Count-style flags must be positive when given: an explicit zero or
+		// negative is a typo'd invocation, not a request for the default
+		// (fs.Visit only sees flags the user actually set, so omitting a flag
+		// still means "all cores" / "serial" / the tier default).
+		var flagErr string
+		fs.Visit(func(f *flag.Flag) {
+			if flagErr != "" {
+				return
+			}
+			switch f.Name {
+			case "procs":
+				if *procs <= 0 {
+					flagErr = fmt.Sprintf("-procs %d: worker budget must be positive (omit the flag to use all cores)", *procs)
+				}
+			case "shard-procs":
+				if *shardProcs <= 0 {
+					flagErr = fmt.Sprintf("-shard-procs %d: intra-run worker count must be positive (omit the flag for the serial engine)", *shardProcs)
+				}
+			case "nodes":
+				if *nodes <= 0 {
+					flagErr = fmt.Sprintf("-nodes %d: node count must be positive", *nodes)
+				}
+			case "calls":
+				if *calls <= 0 {
+					flagErr = fmt.Sprintf("-calls %d: call count must be positive", *calls)
+				}
+			case "seeds":
+				if *seeds <= 0 {
+					flagErr = fmt.Sprintf("-seeds %d: seed count must be positive", *seeds)
+				}
+			case "run-deadline":
+				if *runDeadline <= 0 {
+					flagErr = fmt.Sprintf("-run-deadline %v: deadline must be positive (omit the flag for no budget)", *runDeadline)
+				}
+			}
+		})
+		if flagErr != "" {
+			fmt.Fprintf(os.Stderr, "parsim: %s\n", flagErr)
+			return 2
+		}
+		if *resume && *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "parsim: -resume needs -checkpoint FILE to replay from")
 			return 2
 		}
 		if os.Args[1] == "all" {
@@ -70,6 +118,18 @@ func run() int {
 		}
 		if len(names) == 0 {
 			fmt.Fprintln(os.Stderr, "parsim run: name an experiment (see 'parsim list')")
+			return 2
+		}
+		// Reject unknown names before running anything: a typo in the third
+		// name must not cost the first two experiments' wall time.
+		var unknown []string
+		for _, name := range names {
+			if _, ok := experiment.Lookup(name); !ok {
+				unknown = append(unknown, fmt.Sprintf("%q", name))
+			}
+		}
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "parsim: unknown experiment(s) %s (see 'parsim list')\n", strings.Join(unknown, ", "))
 			return 2
 		}
 		if *cpuprofile != "" {
@@ -124,25 +184,16 @@ func run() int {
 			opts.Seeds = *seeds
 		}
 		opts.BaseSeed = *seed
-		if *procs < 0 {
-			fmt.Fprintln(os.Stderr, "parsim: -procs must be >= 0")
-			return 2
-		}
-		if *shardProcs < 0 {
-			fmt.Fprintln(os.Stderr, "parsim: -shard-procs must be >= 0")
-			return 2
-		}
 		opts.Parallelism = *procs
 		opts.ShardWorkers = *shardProcs
+		opts.CheckpointPath = *checkpoint
+		opts.Resume = *resume
+		opts.RunDeadline = *runDeadline
 		if *verbose {
 			opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 		}
 		for _, name := range names {
-			r, ok := experiment.Lookup(name)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "parsim: unknown experiment %q (see 'parsim list')\n", name)
-				return 2
-			}
+			r, _ := experiment.Lookup(name) // validated above
 			start := time.Now()
 			table, err := r.Run(opts)
 			if err != nil {
@@ -213,6 +264,12 @@ flags for run/all (may precede or follow experiment names):
   -csv         CSV output
   -v           progress on stderr (includes per-run pdes window stats
                when -shard-procs is active)
+  -checkpoint FILE   append per-run results to FILE (JSONL) as they finish
+  -resume      with -checkpoint: replay completed runs from FILE and only
+               simulate the missing ones (same sweep options required)
+  -run-deadline DUR  wall-clock budget per simulation run (e.g. 90s, 5m);
+               a run over budget is quarantined ("-" in the table) instead
+               of hanging the sweep
   -cpuprofile FILE   write a pprof CPU profile of the run
   -memprofile FILE   write a pprof allocation profile at exit`)
 }

@@ -28,8 +28,8 @@ func TestPublicAPIQuickstart(t *testing.T) {
 }
 
 func TestPublicAPIExperiments(t *testing.T) {
-	if len(coschedsim.Experiments()) != 21 {
-		t.Fatalf("Experiments() = %d entries, want 21", len(coschedsim.Experiments()))
+	if len(coschedsim.Experiments()) != 22 {
+		t.Fatalf("Experiments() = %d entries, want 22", len(coschedsim.Experiments()))
 	}
 	r, ok := coschedsim.LookupExperiment("fig3")
 	if !ok {

@@ -14,8 +14,10 @@ package cluster
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"coschedsim/internal/cosched"
+	"coschedsim/internal/fault"
 	"coschedsim/internal/gpfs"
 	"coschedsim/internal/kernel"
 	"coschedsim/internal/mpi"
@@ -73,6 +75,13 @@ type Config struct {
 	// canonical — only wall clock changes.
 	ShardNodeGroup int
 
+	// Faults enables deterministic fault injection: crashes, stragglers,
+	// link drops, partitions and daemon stalls, all drawn from counter-based
+	// streams keyed by stable identities (so fault-injected runs are
+	// byte-identical across engine cores and worker counts). nil or a
+	// disabled config injects nothing.
+	Faults *fault.Config
+
 	Seed int64
 }
 
@@ -112,6 +121,22 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		if c.Faults.Enabled() {
+			if c.MPI.HardwareCollectives {
+				return fmt.Errorf("cluster: fault injection is not supported with hardware collectives")
+			}
+			if c.Faults.DetectLatency < c.Network.Lookahead() {
+				// Abort broadcasts are scheduled DetectLatency ahead; under
+				// the sharded core they must clear the conservative window.
+				return fmt.Errorf("cluster: fault DetectLatency %v below fabric lookahead %v",
+					c.Faults.DetectLatency, c.Network.Lookahead())
+			}
+		}
+	}
 	return nil
 }
 
@@ -130,6 +155,11 @@ type Cluster struct {
 	Sched  *cosched.Scheduler
 	IO     []*gpfs.Service
 	Job    *mpi.Job
+	// Faults is the armed injector (nil when fault injection is off).
+	Faults *fault.Injector
+	// Supervisors restart stalled daemons, one per node, only when stall
+	// faults are configured.
+	Supervisors []*kernel.Supervisor
 
 	// groupSize is the nodes-per-shard mapping factor (node i lives on
 	// shard i/groupSize); 1 when Group is nil.
@@ -301,7 +331,164 @@ func Build(cfg Config) (*Cluster, error) {
 			c.Job.AddRank(n, cpu)
 		}
 	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		c.Faults = fault.NewInjector(*cfg.Faults, cfg.Seed, cfg.Nodes, len(noiseCfg.Daemons))
+		c.Job.SetFaults(c.Faults)
+		c.armFaults()
+	}
 	return c, nil
+}
+
+// armFaults schedules every precomputed fault on its node's engine. This
+// runs at build time, before any window executes, so direct At calls on
+// per-shard engines are legal and produce identical queues on every core:
+// nodes are visited in index order and each event's (time, node, arming
+// order) is a pure function of the injector's schedules.
+func (c *Cluster) armFaults() {
+	inj := c.Faults
+	fc := inj.Config()
+
+	// Daemon-stall recovery: one supervisor per node watches the noise
+	// daemons and respawns killed ones.
+	if fc.StallProb > 0 {
+		for i, n := range c.Nodes {
+			set := c.Noise[i]
+			sup := kernel.NewSupervisor(n, fc.CheckPeriod, fc.RestartDelay)
+			for d := 0; d < set.DaemonCount(); d++ {
+				d := d
+				sup.Watch(set.DaemonThread(d), func() *kernel.Thread { return set.Respawn(d) })
+			}
+			c.Supervisors = append(c.Supervisors, sup)
+		}
+	}
+
+	for i, n := range c.Nodes {
+		eng := n.Engine()
+		inj.LaunchStraggler(n, i)
+		for d := 0; d < c.Noise[i].DaemonCount(); d++ {
+			at := inj.StallAt(i, d)
+			if at == 0 {
+				continue
+			}
+			set, d := c.Noise[i], d
+			eng.At(at, "fault-stall", func() {
+				if th := set.DaemonThread(d); th != nil && th.State() != kernel.StateExited {
+					th.Kill()
+				}
+			})
+		}
+		crash := inj.CrashAt(i)
+		if crash == 0 {
+			continue
+		}
+		node, set, idx := n, c.Noise[i], i
+		eng.At(crash, "fault-crash", func() {
+			// The node dies whole: its ranks are lost, its noise and
+			// co-scheduler daemon stop, its supervisor gives up.
+			c.Job.FailRanksOn(node, true)
+			set.Stop()
+			if c.Sched != nil {
+				c.Sched.NodeDown(node)
+			}
+			if len(c.Supervisors) > idx {
+				c.Supervisors[idx].Stop()
+			}
+		})
+		// Survivors respond DetectLatency later: re-plan then abort
+		// (PolicyReplan), or abort immediately on detection.
+		detect := crash + fc.DetectLatency
+		for si, sn := range c.Nodes {
+			if si == i {
+				continue
+			}
+			seng, sn := sn.Engine(), sn
+			if fc.Policy == fault.PolicyReplan && c.Sched != nil {
+				seng.At(detect, "fault-replan", func() { c.Sched.Replan(sn) })
+				seng.At(detect+fc.ReplanDrain, "fault-abort", func() {
+					c.Job.FailRanksOn(sn, false)
+				})
+			} else {
+				seng.At(detect, "fault-abort", func() {
+					c.Job.FailRanksOn(sn, false)
+				})
+			}
+		}
+	}
+}
+
+// FaultReport aggregates a faulty run's degraded-mode statistics across the
+// injector, the MPI job, the fabric, the co-scheduler and the supervisors.
+type FaultReport struct {
+	Crashes            int      // nodes that crashed
+	Stragglers         int      // nodes that hosted a straggler daemon
+	Stalls             int      // daemons stalled (killed)
+	Dropped            uint64   // send attempts lost (drops + partition cuts)
+	Retries            uint64   // retransmit attempts
+	AbortedCollectives int64    // ranks killed mid-collective
+	LostRanks          int64    // ranks on crashed nodes
+	AbortedRanks       int64    // survivors killed by collective abort
+	Replans            int      // nodes re-planned by the co-scheduler
+	Restarts           int      // daemons respawned by supervisors
+	RecoveryTime       sim.Time // summed daemon death-to-respawn latency
+}
+
+// FaultReport returns the run's degraded-mode statistics (zero when fault
+// injection is off). Call after Launch.
+func (c *Cluster) FaultReport() FaultReport {
+	var r FaultReport
+	if c.Faults == nil {
+		return r
+	}
+	r.Crashes = c.Faults.Crashes()
+	r.Stragglers = c.Faults.Stragglers()
+	r.Stalls = c.Faults.Stalls()
+	fs := c.Job.FaultStats()
+	r.Dropped = fs.Dropped
+	r.Retries = fs.Retries
+	r.AbortedCollectives = fs.AbortedCollectives
+	r.LostRanks = fs.LostRanks
+	r.AbortedRanks = fs.AbortedRanks
+	if c.Sched != nil {
+		r.Replans = c.Sched.Replans()
+	}
+	// Count only restarts that fired strictly before the job's termination:
+	// how many respawn events drain after the workload ends depends on the
+	// engine core (a serial engine stops mid-timestamp, the sharded core
+	// finishes its window), and termination time is the last instant all
+	// cores agree on.
+	cutoff := c.Job.TerminatedAt()
+	if cutoff == 0 {
+		cutoff = sim.Forever
+	}
+	for _, sup := range c.Supervisors {
+		n, rec := sup.RestartsBefore(cutoff)
+		r.Restarts += n
+		r.RecoveryTime += rec
+	}
+	return r
+}
+
+// SetWallDeadline bounds the real time Launch may spend: once the wall clock
+// passes now+d the run exits early (at a window barrier on the sharded core)
+// and DeadlineHit reports true. d <= 0 is a no-op.
+func (c *Cluster) SetWallDeadline(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.Now().Add(d)
+	if c.Group != nil {
+		c.Group.SetWallDeadline(t)
+	} else {
+		c.Eng.SetWallDeadline(t)
+	}
+}
+
+// DeadlineHit reports whether the run was cut short by SetWallDeadline.
+func (c *Cluster) DeadlineHit() bool {
+	if c.Group != nil {
+		return c.Group.WallDeadlineHit()
+	}
+	return c.Eng.WallDeadlineHit()
 }
 
 // MustBuild is Build for known-valid configurations.
@@ -343,6 +530,9 @@ func (c *Cluster) Launch(program func(*mpi.Rank), horizon sim.Time) (sim.Time, b
 	}
 	for _, ns := range c.Noise {
 		ns.Stop()
+	}
+	for _, sup := range c.Supervisors {
+		sup.Stop()
 	}
 	return c.Job.CompletedAt(), c.Job.Completed()
 }

@@ -76,6 +76,18 @@ func validateHints(p Params) error {
 // period.
 func (ns *nodeSched) endFavoredOrExtend(periodStart sim.Time, used sim.Time) {
 	p := ns.sched.params
+	if ns.drain {
+		// Failure re-plan: hold the job favored in quanta until every
+		// process is gone (the MPI abort path unregisters each dead rank),
+		// then exit like a normal end-of-job.
+		if ns.maybeExit() {
+			return
+		}
+		ns.thread.Sleep(hintQuantum, func() {
+			ns.endFavoredOrExtend(periodStart, used)
+		})
+		return
+	}
 	if ns.fineGrain > 0 && used < p.MaxFineGrainExtension {
 		quantum := hintQuantum
 		if rem := p.MaxFineGrainExtension - used; rem < quantum {

@@ -143,6 +143,45 @@ func (s *Scheduler) AttachProcess(node *kernel.Node, proc int) {
 	}
 }
 
+// NodeDown tells the scheduler a node has died (fault injection): its
+// co-scheduler daemon is killed in place and the node stops cycling windows.
+func (s *Scheduler) NodeDown(n *kernel.Node) {
+	ns := s.nodes[n]
+	if ns == nil || ns.down {
+		return
+	}
+	ns.down = true
+	if ns.thread != nil && ns.thread.State() != kernel.StateExited {
+		ns.thread.Kill()
+	}
+}
+
+// Replan re-plans a surviving node after a peer died mid-job: the node's
+// window state machine enters drain mode — the job is promoted to favored
+// immediately and held there in hint quanta — so surviving ranks flush
+// in-flight collectives and reach the abort point at full priority instead
+// of stalling unfavored behind daemons.
+func (s *Scheduler) Replan(n *kernel.Node) {
+	ns := s.nodes[n]
+	if ns == nil || ns.down || ns.drain {
+		return
+	}
+	ns.drain = true
+	ns.replans++
+	if !ns.inFavored {
+		ns.setFavored(true)
+	}
+}
+
+// Replans counts nodes whose schedules were re-planned after a failure.
+func (s *Scheduler) Replans() int {
+	total := 0
+	for _, ns := range s.nodes {
+		total += ns.replans
+	}
+	return total
+}
+
 type procEntry struct {
 	threads  []*kernel.Thread
 	attached bool
@@ -160,6 +199,10 @@ type nodeSched struct {
 	cycles    uint64
 	fineGrain int      // active fine-grain regions (hint API)
 	extended  sim.Time // total favored-window extension granted
+
+	down    bool // the node died; its daemon was killed
+	drain   bool // re-plan: hold the job favored in quanta until it ends
+	replans int
 
 	transitions []Transition // this node's window edges (see Transitions)
 }

@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Sweep checkpointing: every completed run's aggregate result is appended to
+// a JSONL file as it finishes, and a resumed sweep (Options.Resume) replays
+// those entries instead of re-simulating — so an interrupted -huge sweep
+// restarts where it left off. Correctness rests on two facts: every run's
+// seed derives from its sweep coordinates (never from execution order), and
+// Go's JSON float64 round-trips exactly — a replayed cell is bit-identical
+// to a re-run one.
+
+// cpHeader is the checkpoint file's first line. The fingerprint ties the
+// file to the option values that determine run outputs; a mismatched file is
+// discarded rather than replayed into the wrong sweep.
+type cpHeader struct {
+	Fingerprint string `json:"fingerprint"`
+}
+
+// cpEntry is one completed run.
+type cpEntry struct {
+	Key    string  `json:"key"`
+	Procs  int     `json:"procs"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+}
+
+// fingerprint digests the option fields that determine run outputs.
+// Parallelism and ShardWorkers are deliberately excluded: outputs are
+// bit-identical at any worker count, so a sweep may resume with a different
+// worker budget than the one that started it.
+func (o Options) fingerprint() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("seed=%d nodes=%d calls=%d seeds=%d grain=%d window=%d",
+		o.BaseSeed, o.MaxNodes, o.Calls, o.Seeds, o.ComputeGrain, o.Window)))
+	return fmt.Sprintf("%x", h[:8])
+}
+
+// cpKey identifies one run within a checkpoint file.
+func cpKey(j runDesc, streamed bool) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%t", j.Label, j.Nodes, j.SeedIdx, j.Seed, streamed)
+}
+
+// checkpoint is an open checkpoint file: a cache of completed entries plus
+// an append handle. Safe for concurrent record/lookup from pool workers.
+type checkpoint struct {
+	mu    sync.Mutex
+	f     *os.File
+	cache map[string]runOut
+}
+
+// openCheckpoints deduplicates opens per path within the process: a runner
+// that fans several runJobs batches into one sweep shares one handle, so a
+// later batch never truncates an earlier batch's entries.
+var (
+	openCPMu sync.Mutex
+	openCPs  = map[string]*checkpoint{}
+)
+
+// openCheckpoint returns the checkpoint for path, loading existing entries
+// when resume is set and the file's fingerprint matches fp (otherwise the
+// file is started fresh). Unparsable lines — e.g. a half-written record from
+// a killed process — are skipped, and the file is rewritten with only the
+// valid lines before appending resumes: a torn record with no trailing
+// newline would otherwise corrupt the first entry appended after it.
+func openCheckpoint(path string, resume bool, fp string) (*checkpoint, error) {
+	openCPMu.Lock()
+	defer openCPMu.Unlock()
+	if cp, ok := openCPs[path]; ok {
+		return cp, nil
+	}
+	cp := &checkpoint{cache: map[string]runOut{}}
+	var keep []string
+	if resume {
+		if data, err := os.ReadFile(path); err == nil {
+			lines := strings.Split(string(data), "\n")
+			var hdr cpHeader
+			if len(lines) > 0 && json.Unmarshal([]byte(lines[0]), &hdr) == nil && hdr.Fingerprint == fp {
+				for _, ln := range lines[1:] {
+					var e cpEntry
+					if json.Unmarshal([]byte(ln), &e) != nil || e.Key == "" {
+						continue
+					}
+					cp.cache[e.Key] = runOut{procs: e.Procs, mean: e.Mean, stddev: e.Stddev}
+					keep = append(keep, ln)
+				}
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: create checkpoint %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	hdr, _ := json.Marshal(cpHeader{Fingerprint: fp})
+	fmt.Fprintf(w, "%s\n", hdr)
+	for _, ln := range keep {
+		fmt.Fprintf(w, "%s\n", ln)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: write checkpoint %s: %w", path, err)
+	}
+	cp.f = f
+	openCPs[path] = cp
+	return cp, nil
+}
+
+// resetCheckpointsForTest drops the process-wide open-file registry so a
+// test can simulate a fresh process re-opening (and re-reading) a
+// checkpoint file left behind by a killed sweep.
+func resetCheckpointsForTest() {
+	openCPMu.Lock()
+	defer openCPMu.Unlock()
+	for path, cp := range openCPs {
+		cp.f.Close()
+		delete(openCPs, path)
+	}
+}
+
+// lookup returns a previously completed run's result.
+func (cp *checkpoint) lookup(key string) (runOut, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	r, ok := cp.cache[key]
+	return r, ok
+}
+
+// record appends one completed run, synced so a kill mid-sweep loses at most
+// the entry being written (which resume then skips as unparsable).
+func (cp *checkpoint) record(key string, r runOut) {
+	line, err := json.Marshal(cpEntry{Key: key, Procs: r.procs, Mean: r.mean, Stddev: r.stddev})
+	if err != nil {
+		return
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.cache[key] = r
+	fmt.Fprintf(cp.f, "%s\n", line)
+	cp.f.Sync()
+}

@@ -2,7 +2,9 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"time"
 
 	"coschedsim/internal/cluster"
 	"coschedsim/internal/sim"
@@ -58,6 +60,20 @@ type Options struct {
 	// never concurrently (calls are serialized); line order across runs
 	// is not deterministic, line content is.
 	Progress func(string)
+	// CheckpointPath, when non-empty, appends every completed run's result
+	// to a JSONL file as the sweep progresses. Combined with Resume, a
+	// sweep killed mid-flight restarts from the completed cells instead of
+	// from scratch — replayed cells are bit-identical to re-run ones
+	// because seeds derive from sweep coordinates, not execution order.
+	CheckpointPath string
+	// Resume replays a CheckpointPath file written by a previous attempt of
+	// the same sweep (matching option fingerprint); a mismatched or absent
+	// file is started fresh.
+	Resume bool
+	// RunDeadline, when positive, bounds each individual run's wall-clock
+	// time. A run that exceeds it is quarantined (its table cell shows "-")
+	// rather than hanging the whole sweep.
+	RunDeadline time.Duration
 }
 
 // Full approximates the paper's sizes (59 nodes / 944 processors at the top
@@ -161,6 +177,7 @@ func Registry() []Runner {
 		{"abl-jitter", "Ablation: switch-transit jitter sweep, vanilla vs prototype", AblationNetworkJitter},
 		{"abl-gang", "Baseline: coarse-quantum gang scheduler (paper §6 category 1)", AblationGangScheduler},
 		{"abl-fairshare", "Baseline: fair-share usage decay (paper §6 category 3)", AblationFairShare},
+		{"abl-fault", "Ablation: fault rate x resilience policy (retry vs abort vs co-sched re-plan)", AblationFault},
 		{"huge", "Extended: vanilla scaling to 1024 nodes / 16384 procs, paper-range fit extrapolated", HugeScaling},
 	}
 }
@@ -242,7 +259,16 @@ func scalingTable(id, title string, pts []pointStats, notes ...string) *Table {
 	}
 	xs := t.Col("procs")
 	ys := t.Col("mean")
-	if fit, err := stats.LinearFit(xs, ys); err == nil {
+	clean := true
+	for _, y := range ys {
+		if math.IsNaN(y) {
+			clean = false
+			break
+		}
+	}
+	if !clean {
+		t.AddNote("fit skipped: one or more points quarantined (shown as -)")
+	} else if fit, err := stats.LinearFit(xs, ys); err == nil {
 		t.AddNote("least-squares fit: y = %.3f*x + %.0f us (R2=%.3f)", fit.Slope, fit.Intercept, fit.R2)
 	}
 	t.Notes = append(t.Notes, notes...)

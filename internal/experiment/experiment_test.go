@@ -26,7 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"t1", "t2", "t3", "t4", "t5",
 		"abl-bigtick", "abl-duty", "abl-ipi", "abl-clock", "abl-ticks",
 		"abl-hints", "abl-hwcoll", "abl-jitter", "abl-gang", "abl-fairshare",
-		"huge"}
+		"abl-fault", "huge"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"coschedsim/internal/cluster"
+	"coschedsim/internal/sim"
+)
+
+// TestFaultSweepBitIdentical is the tentpole acceptance pin at table level:
+// the abl-fault sweep — crashes, drops, retries, partitions, stalls,
+// supervisor restarts, co-scheduler replans — renders byte-identically on
+// the heap, wheel and sharded engine cores at 1, 2 and 4 workers.
+func TestFaultSweepBitIdentical(t *testing.T) {
+	wheel := renderedWithCore(t, "abl-fault", sim.CoreWheel)
+	sharded2 := renderedWithShardWorkers(t, "abl-fault", 2)
+	if !bytes.Equal(wheel, sharded2) {
+		t.Errorf("abl-fault differs between wheel and 2 shard workers\n--- wheel ---\n%s\n--- sharded ---\n%s",
+			wheel, sharded2)
+	}
+	if testing.Short() {
+		return
+	}
+	heap := renderedWithCore(t, "abl-fault", sim.CoreHeap)
+	if !bytes.Equal(wheel, heap) {
+		t.Errorf("abl-fault differs between wheel and heap cores\n--- wheel ---\n%s\n--- heap ---\n%s",
+			wheel, heap)
+	}
+	for _, w := range []int{1, 4} {
+		got := renderedWithShardWorkers(t, "abl-fault", w)
+		if !bytes.Equal(wheel, got) {
+			t.Errorf("abl-fault differs between serial and %d shard workers\n--- serial ---\n%s\n--- sharded ---\n%s",
+				w, wheel, got)
+		}
+	}
+}
+
+// TestQuarantinePanickingJob checks the sweep-survival acceptance: a run
+// that panics is quarantined into a "-" cell instead of aborting the sweep,
+// the fit is suppressed, and the rest of the table is real data.
+func TestQuarantinePanickingJob(t *testing.T) {
+	prev := buildCluster
+	buildCluster = func(cfg cluster.Config) (*cluster.Cluster, error) {
+		if cfg.Nodes == 2 {
+			panic("injected build panic")
+		}
+		return cluster.Build(cfg)
+	}
+	defer func() { buildCluster = prev }()
+
+	o := detOptions()
+	o.Parallelism = 4
+	var lines []string
+	o.Progress = func(l string) { lines = append(lines, l) }
+	pts, err := measureScaling(o, "quarantine-test", func(nodes int, seed int64) cluster.Config {
+		return cluster.Vanilla(nodes, 16, seed)
+	})
+	if err != nil {
+		t.Fatalf("panicking runs aborted the sweep: %v", err)
+	}
+	if len(pts) != 3 { // detOptions sweeps nodes 1, 2, 4
+		t.Fatalf("got %d sweep points, want 3", len(pts))
+	}
+	if !math.IsNaN(pts[1].mean) {
+		t.Fatalf("quarantined point mean = %v, want NaN", pts[1].mean)
+	}
+	if pts[1].procs != 32 {
+		t.Fatalf("quarantined point procs = %d, want 32 (rows must stay aligned)", pts[1].procs)
+	}
+	if math.IsNaN(pts[0].mean) || math.IsNaN(pts[2].mean) {
+		t.Fatal("healthy points poisoned by the quarantined one")
+	}
+	quarantined := 0
+	for _, l := range lines {
+		if strings.Contains(l, "QUARANTINED") {
+			quarantined++
+		}
+	}
+	if quarantined != o.Seeds {
+		t.Fatalf("%d QUARANTINED progress lines, want %d", quarantined, o.Seeds)
+	}
+
+	tab := scalingTable("QT", "quarantine test", pts)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "-") {
+		t.Error("rendered table has no '-' cell for the quarantined point")
+	}
+	if !strings.Contains(out, "fit skipped") {
+		t.Errorf("rendered table does not note the skipped fit:\n%s", out)
+	}
+	if strings.Contains(out, "least-squares fit") {
+		t.Errorf("fit computed over a NaN mean:\n%s", out)
+	}
+}
+
+// TestAllRunsQuarantinedIsAnError checks the degenerate case: when every
+// run is quarantined there is no table to render, so the sweep must fail
+// loudly rather than produce all-dash rows.
+func TestAllRunsQuarantinedIsAnError(t *testing.T) {
+	prev := buildCluster
+	buildCluster = func(cfg cluster.Config) (*cluster.Cluster, error) { panic("always") }
+	defer func() { buildCluster = prev }()
+	o := detOptions()
+	_, err := measureScaling(o, "all-quarantined", func(nodes int, seed int64) cluster.Config {
+		return cluster.Vanilla(nodes, 16, seed)
+	})
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("err = %v, want all-runs-quarantined error", err)
+	}
+}
+
+// TestRunDeadlineQuarantines checks Options.RunDeadline: a run over its
+// wall budget is cut at the engine loop and surfaces as a quarantinable
+// deadline error (here: every run, which is the loud failure mode).
+func TestRunDeadlineQuarantines(t *testing.T) {
+	o := detOptions()
+	o.Parallelism = 2
+	o.RunDeadline = time.Nanosecond
+	_, err := measureScaling(o, "deadline-test", func(nodes int, seed int64) cluster.Config {
+		return cluster.Vanilla(nodes, 16, seed)
+	})
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("err = %v, want all-runs-quarantined error from the deadline", err)
+	}
+}
+
+// TestCheckpointResume is the kill-and-resume acceptance: a sweep writes
+// per-run results to a checkpoint; after "the process dies" (registry reset
+// + truncated file, as a kill mid-run leaves it), a -resume sweep replays
+// the surviving entries, re-simulates only the missing ones, and renders a
+// byte-identical table.
+func TestCheckpointResume(t *testing.T) {
+	path := t.TempDir() + "/sweep.jsonl"
+	base := detOptions()
+	base.Parallelism = 2
+	base.CheckpointPath = path
+
+	run := func(o Options) ([]byte, []string) {
+		t.Helper()
+		var lines []string
+		o.Progress = func(l string) { lines = append(lines, l) }
+		tab, err := Fig3VanillaScaling(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tab.Render(&buf)
+		tab.CSV(&buf)
+		return buf.Bytes(), lines
+	}
+
+	first, _ := run(base)
+	resetCheckpointsForTest()
+
+	// Simulate a sweep killed mid-run: keep the header and the first half of
+	// the completed entries, plus a torn half-written record at the tail.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	entries := len(lines) - 1 // minus header
+	if entries != 6 {         // detOptions: nodes {1,2,4} x 2 seeds
+		t.Fatalf("checkpoint holds %d entries, want 6", entries)
+	}
+	kept := lines[:1+entries/2]
+	truncated := strings.Join(kept, "\n") + "\n" + `{"key":"torn`
+	if err := os.WriteFile(path, []byte(truncated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := base
+	resumed.Resume = true
+	second, progress := run(resumed)
+	resetCheckpointsForTest()
+
+	if !bytes.Equal(first, second) {
+		t.Errorf("resumed table differs from the original:\n--- first ---\n%s\n--- resumed ---\n%s", first, second)
+	}
+	cached, simulated := 0, 0
+	for _, l := range progress {
+		if strings.Contains(l, "checkpoint cached") {
+			cached++
+		} else {
+			simulated++
+		}
+	}
+	if cached != entries/2 {
+		t.Errorf("%d runs replayed from the checkpoint, want %d", cached, entries/2)
+	}
+	if simulated != entries-entries/2 {
+		t.Errorf("%d runs re-simulated, want %d", simulated, entries-entries/2)
+	}
+
+	// A third resume replays everything: the resumed sweep appended the
+	// re-simulated cells to the same file.
+	again := base
+	again.Resume = true
+	third, progress3 := run(again)
+	resetCheckpointsForTest()
+	if !bytes.Equal(first, third) {
+		t.Error("fully-cached resume differs from the original table")
+	}
+	for _, l := range progress3 {
+		if !strings.Contains(l, "checkpoint cached") {
+			t.Fatalf("fully-populated checkpoint still simulated a run: %s", l)
+		}
+	}
+}
+
+// TestCheckpointFingerprintMismatchStartsFresh checks that a checkpoint
+// written by a differently-sized sweep is discarded, not replayed into the
+// wrong table.
+func TestCheckpointFingerprintMismatchStartsFresh(t *testing.T) {
+	path := t.TempDir() + "/sweep.jsonl"
+	a := detOptions()
+	a.CheckpointPath = path
+	if _, err := Fig3VanillaScaling(a); err != nil {
+		t.Fatal(err)
+	}
+	resetCheckpointsForTest()
+
+	b := detOptions()
+	b.Calls = a.Calls * 2 // different sweep: fingerprints must differ
+	b.CheckpointPath = path
+	b.Resume = true
+	var lines []string
+	b.Progress = func(l string) { lines = append(lines, l) }
+	if _, err := Fig3VanillaScaling(b); err != nil {
+		t.Fatal(err)
+	}
+	resetCheckpointsForTest()
+	for _, l := range lines {
+		if strings.Contains(l, "checkpoint cached") {
+			t.Fatalf("entry from a mismatched sweep replayed: %s", l)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"coschedsim/internal/cluster"
@@ -97,17 +99,54 @@ func runStreamedJobs(o Options, jobs []runDesc) ([]runOut, error) {
 	return runJobs(o, jobs, true)
 }
 
+// errRunDeadline marks a run cut short by Options.RunDeadline. It is
+// wrapped into the run's error so quarantinable can recognize it.
+var errRunDeadline = errors.New("run wall deadline exceeded")
+
+// buildCluster is cluster.Build, indirected so tests can inject run-level
+// failures (a panicking build for one descriptor) without inventing a real
+// configuration that panics.
+var buildCluster = cluster.Build
+
+// quarantinable reports whether a run failure is isolated to that run —
+// a panic inside the simulation or a per-run wall deadline — and may be
+// quarantined without invalidating the rest of the sweep. Configuration
+// and model errors stay fatal: they mean the sweep itself is wrong.
+func quarantinable(err error) bool {
+	var pe *parallel.PanicError
+	return errors.As(err, &pe) || errors.Is(err, errRunDeadline)
+}
+
 func runJobs(o Options, jobs []runDesc, streamed bool) ([]runOut, error) {
 	o = o.withSafeProgress()
 	shard := o.shardWorkers()
-	return parallel.Map(o.workers(), len(jobs), func(i int) (runOut, error) {
+	var cp *checkpoint
+	if o.CheckpointPath != "" {
+		var err error
+		cp, err = openCheckpoint(o.CheckpointPath, o.Resume, o.fingerprint())
+		if err != nil {
+			return nil, err
+		}
+	}
+	outs, errs := parallel.MapAll(o.workers(), len(jobs), func(i int) (runOut, error) {
 		j := jobs[i]
+		key := cpKey(j, streamed)
+		if cp != nil {
+			if r, ok := cp.lookup(key); ok {
+				o.progress("%s nodes=%d seed=%d checkpoint cached mean=%.1fus stddev=%.1fus",
+					j.Label, j.Nodes, j.SeedIdx, r.mean, r.stddev)
+				return r, nil
+			}
+		}
 		if shard > 1 {
 			j.Cfg.IntraRunWorkers = shard
 		}
-		c, err := cluster.Build(j.Cfg)
+		c, err := buildCluster(j.Cfg)
 		if err != nil {
 			return runOut{}, err
+		}
+		if o.RunDeadline > 0 {
+			c.SetWallDeadline(o.RunDeadline)
 		}
 		spec := workload.AggregateSpec{
 			Loops: 1, CallsPerLoop: o.callsFor(c.Procs()), Compute: o.ComputeGrain,
@@ -119,6 +158,10 @@ func runJobs(o Options, jobs []runDesc, streamed bool) ([]runOut, error) {
 		res, err := workload.RunAggregate(c, spec, 30*sim.Minute)
 		if err != nil {
 			return runOut{}, err
+		}
+		if c.DeadlineHit() {
+			return runOut{}, fmt.Errorf("experiment %s: %d-node run seed=%d: %w",
+				j.Label, j.Nodes, j.SeedIdx, errRunDeadline)
 		}
 		if !res.Completed {
 			return runOut{}, fmt.Errorf("experiment %s: %d-node run did not complete", j.Label, j.Nodes)
@@ -142,8 +185,40 @@ func runJobs(o Options, jobs []runDesc, streamed bool) ([]runOut, error) {
 				j.Label, j.Nodes, j.SeedIdx, gs.Windows, gs.CrossShardEvents,
 				ns.CrossShardSends, avg, float64(gs.BarrierStallNs)/1e6)
 		}
-		return runOut{procs: c.Procs(), mean: sum.Mean, stddev: sum.Stddev}, nil
+		r := runOut{procs: c.Procs(), mean: sum.Mean, stddev: sum.Stddev}
+		if cp != nil {
+			cp.record(key, r)
+		}
+		return r, nil
 	})
+	// Quarantine isolated failures: the cell keeps its processor count (so
+	// table rows stay aligned) with NaN statistics, which render as "-" and
+	// suppress the fit. Any non-quarantinable error — lowest index first,
+	// matching parallel.Map's old contract — fails the sweep.
+	quarantined := 0
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !quarantinable(err) {
+			return nil, err
+		}
+		j := jobs[i]
+		outs[i] = runOut{procs: j.Cfg.Nodes * j.Cfg.TasksPerNode, mean: math.NaN(), stddev: math.NaN()}
+		o.progress("%s nodes=%d seed=%d QUARANTINED: %v", j.Label, j.Nodes, j.SeedIdx, err)
+		quarantined++
+	}
+	if quarantined == len(jobs) && len(jobs) > 0 {
+		first := 0
+		for i, err := range errs {
+			if err != nil {
+				first = i
+				break
+			}
+		}
+		return nil, fmt.Errorf("experiment: all %d runs quarantined; first failure: %w", quarantined, errs[first])
+	}
+	return outs, nil
 }
 
 // variantSpec names one configuration of a design-choice sweep.

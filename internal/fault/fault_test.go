@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"testing"
+
+	"coschedsim/internal/sim"
+)
+
+func fullConfig() Config {
+	return Config{
+		Policy:        PolicyRetry,
+		CrashProb:     0.5,
+		CrashWindow:   sim.Second,
+		DetectLatency: 50 * sim.Microsecond,
+
+		StragglerProb:     0.5,
+		StragglerWindow:   sim.Second,
+		StragglerDuration: 100 * sim.Millisecond,
+		StragglerDuty:     0.5,
+
+		DropRate: 0.01,
+
+		PartitionStart:    100 * sim.Millisecond,
+		PartitionDuration: 10 * sim.Millisecond,
+		PartitionFrac:     0.5,
+
+		StallProb:    0.5,
+		StallWindow:  sim.Second,
+		RestartDelay: 5 * sim.Millisecond,
+		CheckPeriod:  2 * sim.Millisecond,
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"crash prob above one", func(c *Config) { c.CrashProb = 1.5 }},
+		{"negative drop rate", func(c *Config) { c.DropRate = -0.1 }},
+		{"crash without window", func(c *Config) { c.CrashWindow = 0 }},
+		{"straggler without duration", func(c *Config) { c.StragglerDuration = 0 }},
+		{"straggler duty of one", func(c *Config) { c.StragglerDuty = 1 }},
+		{"partition frac of zero", func(c *Config) { c.PartitionFrac = 0 }},
+		{"stall without restart delay", func(c *Config) { c.RestartDelay = 0 }},
+		{"stall without check period", func(c *Config) { c.CheckPeriod = 0 }},
+		{"enabled without detect latency", func(c *Config) { c.DetectLatency = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := fullConfig()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+	good := fullConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	var zero Config
+	if zero.Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+// TestSchedulesDeterministic pins the injector's core property: schedules
+// are a pure function of (config, seed), independent of construction count
+// or call order.
+func TestSchedulesDeterministic(t *testing.T) {
+	cfg := fullConfig()
+	a := NewInjector(cfg, 7, 16, 3)
+	b := NewInjector(cfg, 7, 16, 3)
+	for i := 0; i < 16; i++ {
+		if a.CrashAt(i) != b.CrashAt(i) {
+			t.Fatalf("node %d: crash schedule differs: %v vs %v", i, a.CrashAt(i), b.CrashAt(i))
+		}
+		if a.StragglerAt(i) != b.StragglerAt(i) {
+			t.Fatalf("node %d: straggler schedule differs", i)
+		}
+		for d := 0; d < 3; d++ {
+			if a.StallAt(i, d) != b.StallAt(i, d) {
+				t.Fatalf("node %d daemon %d: stall schedule differs", i, d)
+			}
+		}
+	}
+	if a.Crashes() != b.Crashes() || a.Stragglers() != b.Stragglers() || a.Stalls() != b.Stalls() {
+		t.Fatal("fault counts differ between identical injectors")
+	}
+	if a.Crashes() == 0 || a.Stragglers() == 0 || a.Stalls() == 0 {
+		t.Fatalf("p=0.5 over 16 nodes drew no faults (crashes=%d stragglers=%d stalls=%d): stream wiring broken",
+			a.Crashes(), a.Stragglers(), a.Stalls())
+	}
+	other := NewInjector(cfg, 8, 16, 3)
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.CrashAt(i) != other.CrashAt(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("crash schedule identical across different seeds")
+	}
+}
+
+// TestDropMessagePure checks that drop verdicts depend only on the attempt's
+// identity — never on call order — and that repeated attempts of one message
+// re-draw (so retries can succeed where the first attempt dropped).
+func TestDropMessagePure(t *testing.T) {
+	cfg := Config{Policy: PolicyRetry, DropRate: 0.3, DetectLatency: 50 * sim.Microsecond}
+	inj := NewInjector(cfg, 3, 8, 0)
+	type q struct {
+		rank    int
+		idx     uint64
+		attempt uint64
+	}
+	queries := []q{{0, 0, 0}, {0, 0, 1}, {1, 9, 0}, {5, 1000, 2}, {0, 0, 0}}
+	first := make([]bool, len(queries))
+	for i, u := range queries {
+		first[i] = inj.DropMessage(0, 0, 1, u.rank, u.idx, u.attempt)
+	}
+	// Same queries in reverse order must give the same verdicts.
+	for i := len(queries) - 1; i >= 0; i-- {
+		u := queries[i]
+		if got := inj.DropMessage(0, 0, 1, u.rank, u.idx, u.attempt); got != first[i] {
+			t.Fatalf("query %d verdict changed on re-ask: %v vs %v", i, got, first[i])
+		}
+	}
+	drops := 0
+	for idx := uint64(0); idx < 1000; idx++ {
+		if inj.DropMessage(0, 0, 1, 0, idx, 0) {
+			drops++
+		}
+	}
+	if drops < 200 || drops > 400 {
+		t.Errorf("drop rate 0.3 produced %d/1000 drops", drops)
+	}
+	none := NewInjector(Config{}, 3, 8, 0)
+	if none.DropMessage(0, 0, 1, 0, 0, 0) {
+		t.Error("zero config dropped a message")
+	}
+}
+
+// TestPartitionWindow checks the cut applies exactly to cross-boundary
+// traffic inside the window.
+func TestPartitionWindow(t *testing.T) {
+	cfg := Config{
+		Policy: PolicyRetry, DetectLatency: 50 * sim.Microsecond,
+		PartitionStart: 100, PartitionDuration: 50, PartitionFrac: 0.5,
+	}
+	inj := NewInjector(cfg, 1, 8, 0) // boundary at node 4
+	cases := []struct {
+		now      sim.Time
+		src, dst int
+		want     bool
+	}{
+		{99, 0, 7, false},  // before the window
+		{100, 0, 7, true},  // window start, cross-boundary
+		{149, 7, 0, true},  // last instant, either direction
+		{150, 0, 7, false}, // window end is exclusive
+		{120, 0, 3, false}, // same side (low half)
+		{120, 5, 6, false}, // same side (high half)
+	}
+	for _, c := range cases {
+		if got := inj.DropMessage(c.now, c.src, c.dst, 0, 0, 0); got != c.want {
+			t.Errorf("t=%d %d->%d: drop=%v, want %v", c.now, c.src, c.dst, got, c.want)
+		}
+	}
+}

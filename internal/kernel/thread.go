@@ -104,6 +104,8 @@ type Thread struct {
 	dispatches  uint64
 	preemptions uint64
 	migrations  uint64
+
+	exitedAt sim.Time // when the thread exited or was killed (Supervisor recovery accounting)
 }
 
 // ThreadStats is a snapshot of a thread's scheduler accounting.
@@ -299,6 +301,7 @@ func (t *Thread) Wakeup() {
 func (t *Thread) Exit() {
 	t.transition("Exit")
 	t.state = StateExited
+	t.exitedAt = t.node.eng.Now()
 	t.node.trace(EvExit, t, 0) // trace before release so the CPU is known
 	t.node.releaseCPU(t)
 }
@@ -342,6 +345,7 @@ func (t *Thread) Kill() {
 	default:
 		t.state = StateExited
 	}
+	t.exitedAt = n.eng.Now()
 	t.cont = nil
 	if t.cpu == nil {
 		n.trace(EvExit, t, 1)

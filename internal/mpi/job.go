@@ -61,6 +61,18 @@ type Config struct {
 	HardwareCollectives bool
 	// HWCollectiveLatency is the fixed in-fabric combine latency.
 	HWCollectiveLatency sim.Time
+
+	// SendTimeout is how long a sender waits before retransmitting a
+	// message it believes lost (fault injection tells the model which sends
+	// are dropped, so the timeout is charged as retransmit delay rather
+	// than discovered by acknowledgment traffic). Subsequent attempts back
+	// off exponentially: timeout, 2*timeout, 4*timeout, ...
+	SendTimeout sim.Time
+	// SendRetries bounds retransmit attempts per message. Zero means a
+	// single attempt: any drop is immediately fatal to the job (the
+	// abort-on-loss policy). When the budget is exhausted the job aborts
+	// collectively after the fault model's detection latency.
+	SendRetries int
 }
 
 // WaitMode is the MP_WAIT_MODE equivalent.
@@ -106,6 +118,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mpi: hardware collectives need a positive combine latency")
 	case c.LongVectorBytes < 0:
 		return fmt.Errorf("mpi: negative long-vector threshold")
+	case c.SendRetries < 0:
+		return fmt.Errorf("mpi: negative send retries")
+	case c.SendRetries > 16:
+		return fmt.Errorf("mpi: send retries %d > 16 (exponential backoff would overflow any horizon)", c.SendRetries)
+	case c.SendRetries > 0 && c.SendTimeout <= 0:
+		return fmt.Errorf("mpi: send retries need a positive send timeout")
+	case c.SendTimeout < 0:
+		return fmt.Errorf("mpi: negative send timeout")
 	}
 	return nil
 }
@@ -124,6 +144,21 @@ type Registry interface {
 	AttachProcess(node *kernel.Node, proc int)
 	// UnregisterProcess announces process termination.
 	UnregisterProcess(node *kernel.Node, proc int)
+}
+
+// FaultModel decides which send attempts are lost. Implementations must be
+// pure functions of the attempt's identity (source rank, per-rank send
+// index, attempt number) and immutable schedules — never of call order — so
+// faulty runs stay bit-identical across engine cores and worker counts.
+// internal/fault.Injector is the standard implementation.
+type FaultModel interface {
+	// DropMessage reports whether this attempt to deliver the message is
+	// lost (link fault or partition window).
+	DropMessage(now sim.Time, srcNode, dstNode, srcRank int, sendIdx, attempt uint64) bool
+	// DetectLatency is the delay between a fatal loss and the job-wide
+	// abort reaching each rank. Under the sharded core it must be at least
+	// the fabric lookahead so abort events can cross shard windows.
+	DetectLatency() sim.Time
 }
 
 // FineGrainRegistry is an optional Registry extension implementing the
@@ -166,6 +201,18 @@ type Job struct {
 	// is a single shared accumulator, so hardware collectives force the
 	// serial engine (cluster gating).
 	hw map[int]*hwOp
+
+	// faults, when non-nil, intercepts every point-to-point send attempt.
+	faults FaultModel
+	// Degraded-mode accounting (atomic: ranks on different shards fail
+	// concurrently). failed counts ranks that terminated by fault or abort
+	// instead of Done; lostRanks are the crash victims themselves,
+	// abortedRanks the survivors taken down by the collective abort;
+	// collAborted counts ranks that were inside a collective when killed.
+	failed       atomic.Int64
+	lostRanks    atomic.Int64
+	abortedRanks atomic.Int64
+	collAborted  atomic.Int64
 }
 
 // delivery is one in-flight point-to-point message. Its fire continuation is
@@ -365,8 +412,11 @@ func (j *Job) rankDone(r *Rank) {
 	}
 }
 
-// Completed reports whether every rank has called Done.
-func (j *Job) Completed() bool { return j.launched && j.finished.Load() == int64(len(j.ranks)) }
+// Completed reports whether every rank has called Done successfully: a job
+// whose ranks were lost or aborted has terminated, but not completed.
+func (j *Job) Completed() bool {
+	return j.launched && j.finished.Load() == int64(len(j.ranks)) && j.failed.Load() == 0
+}
 
 // CompletedAt returns the simulated time the final rank called Done (the
 // maximum over ranks, so it is independent of shard execution order). Zero
@@ -376,4 +426,72 @@ func (j *Job) CompletedAt() sim.Time {
 		return 0
 	}
 	return sim.Time(j.lastDone.Load())
+}
+
+// TerminatedAt returns when the final rank ended — by Done or by fault —
+// regardless of whether the job completed. Zero while ranks are still live.
+func (j *Job) TerminatedAt() sim.Time {
+	if j.finished.Load() != int64(len(j.ranks)) {
+		return 0
+	}
+	return sim.Time(j.lastDone.Load())
+}
+
+// SetFaults installs the fault model. Must be called before Launch; nil
+// clears it. Hardware collectives are not fault-aware (the cluster layer
+// refuses the combination).
+func (j *Job) SetFaults(fm FaultModel) {
+	if j.launched {
+		panic("mpi: SetFaults after Launch")
+	}
+	j.faults = fm
+}
+
+// FailRanksOn kills every rank placed on node n, as when the node crashes
+// (lost=true) or survivors are taken down by a collective abort
+// (lost=false). Must run on n's engine shard. Idempotent per rank.
+func (j *Job) FailRanksOn(n *kernel.Node, lost bool) {
+	for i := range j.ranks {
+		r := &j.ranks[i]
+		if r.node == n {
+			r.fail(lost)
+		}
+	}
+}
+
+// abortFrom broadcasts a collective abort: every rank is killed
+// DetectLatency after the fatal loss observed on engine src. Aborts are not
+// deduplicated — fail is idempotent, and each rank's effective death time is
+// the minimum over broadcast arrivals, which is the same on every engine
+// core regardless of shard interleaving (a CAS-style "first abort wins"
+// guard would not be).
+func (j *Job) abortFrom(src *sim.Engine) {
+	when := src.Now() + j.faults.DetectLatency()
+	for i := range j.ranks {
+		r := &j.ranks[i]
+		src.ScheduleOn(r.node.Engine(), when, "mpi-abort", r.failAbort)
+	}
+}
+
+// FaultStats summarizes a job's degraded-mode behavior.
+type FaultStats struct {
+	Dropped            uint64 // send attempts lost to injected faults
+	Retries            uint64 // retransmit attempts made
+	AbortedCollectives int64  // ranks killed while inside a collective
+	LostRanks          int64  // ranks on crashed nodes
+	AbortedRanks       int64  // surviving ranks killed by collective abort
+}
+
+// FaultStats returns the job's degraded-mode counters.
+func (j *Job) FaultStats() FaultStats {
+	fs := FaultStats{
+		AbortedCollectives: j.collAborted.Load(),
+		LostRanks:          j.lostRanks.Load(),
+		AbortedRanks:       j.abortedRanks.Load(),
+	}
+	for i := range j.ranks {
+		fs.Dropped += j.ranks[i].dropped
+		fs.Retries += j.ranks[i].retries
+	}
+	return fs
 }

@@ -95,8 +95,19 @@ type Rank struct {
 	// deliveryPool recycles in-flight delivery records (see delivery); it
 	// is per rank so each pool stays on one engine shard.
 	deliveryPool []*delivery
-	// p2pSends counts messages this rank sent (summed by Job.P2PSends).
+	// p2pSends counts messages this rank sent (summed by Job.P2PSends). It
+	// doubles as the per-rank send index identifying each logical message
+	// to the fault model (retransmits of one message share its index).
 	p2pSends uint64
+
+	// Fault state: dropped/retries count this rank's lost attempts and
+	// retransmits (per rank, so shards never share a counter); failed marks
+	// a rank terminated by fault or abort; failAbort is the bound
+	// abort-broadcast continuation.
+	dropped   uint64
+	retries   uint64
+	failed    bool
+	failAbort func()
 
 	collSeq int
 	done    bool
@@ -120,7 +131,11 @@ func (r *Rank) bindHotPaths() {
 		r.p2pSends++
 		target := &r.job.ranks[dst]
 		d := r.newDelivery(target, msgKey{src: r.id, tag: tag}, msg)
-		r.job.fabric.Send(r.node.ID(), target.node.ID(), msg.bytes, d.fire)
+		if r.job.faults == nil {
+			r.job.fabric.Send(r.node.ID(), target.node.ID(), msg.bytes, d.fire)
+		} else {
+			r.trySend(target, msg.bytes, r.p2pSends-1, d.fire)
+		}
 		then()
 	}
 	r.srRecvStep = func() {
@@ -128,7 +143,77 @@ func (r *Rank) bindHotPaths() {
 		r.srThen = nil
 		r.Recv(r.srPeer, r.srTag, then)
 	}
+	r.failAbort = func() { r.fail(false) }
 }
+
+// trySend pushes one logical message (identity idx) through the fault
+// model: a dropped attempt is retried after an exponentially backed-off
+// timeout up to Config.SendRetries times; exhausting the budget (or any
+// drop when the budget is zero) is a fatal loss that aborts the whole job
+// after the detection latency. Only called when a fault model is installed.
+func (r *Rank) trySend(target *Rank, bytes int, idx uint64, deliver func()) {
+	j := r.job
+	eng := r.node.Engine()
+	attempt := uint64(0)
+	var attemptFn func()
+	attemptFn = func() {
+		if r.failed {
+			return // the rank died while backing off
+		}
+		if !j.faults.DropMessage(eng.Now(), r.node.ID(), target.node.ID(), r.id, idx, attempt) {
+			j.fabric.Send(r.node.ID(), target.node.ID(), bytes, deliver)
+			return
+		}
+		j.fabric.Drop(r.node.ID(), target.node.ID(), bytes)
+		r.dropped++
+		if attempt >= uint64(j.cfg.SendRetries) {
+			j.abortFrom(eng)
+			return
+		}
+		attempt++
+		r.retries++
+		eng.After(j.cfg.SendTimeout<<(attempt-1), "mpi-retransmit", attemptFn)
+	}
+	attemptFn()
+}
+
+// fail terminates the rank abruptly: crash victim (lost=true) or collective
+// abort (lost=false). Idempotent; safe at any point of the rank's protocol
+// state machine. The final fail accounts the rank like Done so job teardown
+// (OnComplete, engine stop) still fires.
+func (r *Rank) fail(lost bool) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.failed = true
+	j := r.job
+	j.failed.Add(1)
+	if lost {
+		j.lostRanks.Add(1)
+	} else {
+		j.abortedRanks.Add(1)
+	}
+	if r.coll.then != nil || r.coll.bThen != nil {
+		// Mid-collective: peers were counting on this rank's messages.
+		j.collAborted.Add(1)
+		r.coll.then, r.coll.bThen = nil, nil
+	}
+	r.recvArmed = false
+	r.recvThen = nil
+	r.sendThen = nil
+	r.srThen = nil
+	if r.progress != nil && r.progress.State() != kernel.StateExited {
+		r.progress.Kill()
+	}
+	if r.thread.State() != kernel.StateExited {
+		r.thread.Kill()
+	}
+	j.rankDone(r)
+}
+
+// Failed reports whether the rank was terminated by a fault or abort.
+func (r *Rank) Failed() bool { return r.failed }
 
 // ID returns the rank number (0-based).
 func (r *Rank) ID() int { return r.id }

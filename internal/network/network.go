@@ -66,6 +66,9 @@ type Stats struct {
 	// CrossShardSends counts messages staged across engine shards (always
 	// zero on a serial engine).
 	CrossShardSends uint64
+	// Dropped counts messages lost to injected link faults or partitions
+	// (recorded via Drop; such messages never enter Send).
+	Dropped uint64
 }
 
 // add accumulates counters (for summing per-shard stats).
@@ -74,6 +77,7 @@ func (s *Stats) add(o Stats) {
 	s.Bytes += o.Bytes
 	s.LocalMessages += o.LocalMessages
 	s.CrossShardSends += o.CrossShardSends
+	s.Dropped += o.Dropped
 }
 
 // Fabric delivers messages between nodes.
@@ -235,6 +239,19 @@ func (f *Fabric) Send(srcNode, dstNode, size int, deliver func()) {
 		f.bumpPair(srcNode, dstNode)
 	}
 	src.ScheduleOn(dst, when, "msg", deliver)
+}
+
+// Drop records a message lost to an injected fault before it could be sent.
+// The loss is decided upstream (by a fault model, before Send), so no jitter
+// index is consumed: the jitter of surviving messages is unchanged by drops,
+// keeping faulty runs shard-order independent. Counters are per source node
+// in sharded mode, like Send's.
+func (f *Fabric) Drop(srcNode, dstNode, size int) {
+	st := &f.stat
+	if f.engines != nil {
+		st = &f.shardStat[srcNode]
+	}
+	st.Dropped++
 }
 
 // Clock is a time source as seen by one node. The co-scheduler aligns its

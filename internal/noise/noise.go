@@ -147,6 +147,13 @@ type Set struct {
 	// CronFirings counts cron activations, for outlier forensics.
 	CronFirings int
 	stopped     bool
+
+	// Respawn support (fault injection): the original specs, the current
+	// thread per daemon index, and a per-daemon generation counter keying
+	// each respawned incarnation's RNG stream.
+	specs   []DaemonSpec
+	daemons []*kernel.Thread
+	gens    []int
 }
 
 // Attach launches the configured daemons, cron job and interrupt sources on
@@ -155,11 +162,14 @@ type Set struct {
 // its period so nodes are uncorrelated, as in real life.
 func Attach(n *kernel.Node, cfg Config) (*Set, error) {
 	s := &Set{node: n}
+	s.specs = append(s.specs, cfg.Daemons...)
+	s.daemons = make([]*kernel.Thread, len(cfg.Daemons))
+	s.gens = make([]int, len(cfg.Daemons))
 	for i, spec := range cfg.Daemons {
 		if err := spec.Validate(); err != nil {
 			return nil, err
 		}
-		s.launchDaemon(spec, i, i%n.NumCPUs())
+		s.daemons[i] = s.launchDaemon(spec, i, 0, i%n.NumCPUs())
 	}
 	if cfg.Cron.Period > 0 {
 		s.launchCron(cfg.Cron)
@@ -182,12 +192,20 @@ func MustAttach(n *kernel.Node, cfg Config) *Set {
 	return s
 }
 
-func (s *Set) launchDaemon(spec DaemonSpec, idx, homeCPU int) {
+func (s *Set) launchDaemon(spec DaemonSpec, idx, gen, homeCPU int) *kernel.Thread {
 	th := s.node.NewDaemon(spec.Name, spec.Priority, homeCPU)
 	s.threads = append(s.threads, th)
 	// One counter stream per (node, daemon): draws depend only on the
-	// daemon's identity and its own cycle count.
-	rng := s.node.Engine().CounterRand("noise-daemon", uint64(s.node.ID()), uint64(idx))
+	// daemon's identity and its own cycle count. Respawned incarnations
+	// (gen > 0) get their own stream so a restart never replays or shifts
+	// the original sequence; gen 0 keeps the historical key so fault-free
+	// runs stay bit-identical.
+	var rng sim.CounterRand
+	if gen == 0 {
+		rng = s.node.Engine().CounterRand("noise-daemon", uint64(s.node.ID()), uint64(idx))
+	} else {
+		rng = s.node.Engine().CounterRand("noise-daemon-r", uint64(s.node.ID()), uint64(idx), uint64(gen))
+	}
 	var cycle func()
 	cycle = func() {
 		if s.stopped {
@@ -205,6 +223,35 @@ func (s *Set) launchDaemon(spec DaemonSpec, idx, homeCPU int) {
 	// Random initial phase within one period.
 	phase := rng.Duration(spec.Period)
 	th.Start(func() { th.Sleep(phase, cycle) })
+	return th
+}
+
+// DaemonCount returns how many periodic daemons the set launched.
+func (s *Set) DaemonCount() int { return len(s.daemons) }
+
+// DaemonThread returns the current incarnation of daemon idx (nil if idx is
+// out of range). Fault injection kills these to model daemon stalls.
+func (s *Set) DaemonThread(idx int) *kernel.Thread {
+	if idx < 0 || idx >= len(s.daemons) {
+		return nil
+	}
+	return s.daemons[idx]
+}
+
+// Respawn relaunches daemon idx after it was killed (a kernel.Supervisor
+// respawn callback). Returns the new thread, or nil when the set is stopped,
+// idx is out of range, or the current incarnation is still alive.
+func (s *Set) Respawn(idx int) *kernel.Thread {
+	if s.stopped || idx < 0 || idx >= len(s.daemons) {
+		return nil
+	}
+	if cur := s.daemons[idx]; cur != nil && cur.State() != kernel.StateExited {
+		return nil
+	}
+	s.gens[idx]++
+	th := s.launchDaemon(s.specs[idx], idx, s.gens[idx], idx%s.node.NumCPUs())
+	s.daemons[idx] = th
+	return th
 }
 
 func (s *Set) launchCron(spec CronSpec) {

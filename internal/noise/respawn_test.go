@@ -1,0 +1,55 @@
+package noise
+
+import (
+	"testing"
+
+	"coschedsim/internal/sim"
+)
+
+func TestRespawnReplacesDeadDaemon(t *testing.T) {
+	eng, n := quietNode(t, 7, 4)
+	s := MustAttach(n, StandardConfig())
+	if s.DaemonCount() != 8 {
+		t.Fatalf("DaemonCount = %d, want 8", s.DaemonCount())
+	}
+	eng.Run(2 * sim.Second)
+
+	old := s.DaemonThread(0)
+	if old == nil {
+		t.Fatal("daemon 0 missing")
+	}
+	if got := s.Respawn(0); got != nil {
+		t.Fatal("Respawn replaced a live daemon")
+	}
+	old.Kill()
+	nt := s.Respawn(0)
+	if nt == nil {
+		t.Fatal("Respawn declined for a dead daemon")
+	}
+	if nt == old {
+		t.Fatal("Respawn returned the dead thread")
+	}
+	if s.DaemonThread(0) != nt {
+		t.Fatal("DaemonThread(0) not updated to the respawned thread")
+	}
+	before := s.DaemonCPUTime()
+	eng.Run(10 * sim.Second)
+	if s.DaemonCPUTime() <= before {
+		t.Fatal("respawned daemon consumed no CPU")
+	}
+}
+
+func TestRespawnBoundsAndStop(t *testing.T) {
+	eng, n := quietNode(t, 7, 4)
+	s := MustAttach(n, StandardConfig())
+	eng.Run(sim.Second)
+	if s.Respawn(-1) != nil || s.Respawn(99) != nil {
+		t.Fatal("out-of-range Respawn returned a thread")
+	}
+	th := s.DaemonThread(1)
+	th.Kill()
+	s.Stop()
+	if s.Respawn(1) != nil {
+		t.Fatal("Respawn after Stop returned a thread")
+	}
+}

@@ -8,6 +8,7 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -19,6 +20,31 @@ func Workers(requested int) int {
 		return requested
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError is a job panic converted into an ordinary error: the sweep
+// machinery quarantines the job instead of crashing the process (one
+// corrupted simulation must not take down a multi-hour sweep).
+type PanicError struct {
+	Index int    // job index that panicked
+	Value any    // the recovered panic value
+	Stack string // goroutine stack at the panic site
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: job %d panicked: %v", e.Index, e.Value)
+}
+
+// safeCall runs fn(i), converting a panic into a *PanicError.
+func safeCall[T any](i int, fn func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Index: i, Value: r, Stack: string(buf)}
+		}
+	}()
+	return fn(i)
 }
 
 // Map runs fn(0), fn(1), ..., fn(n-1) on up to workers goroutines and
@@ -44,7 +70,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := safeCall(i, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -75,7 +101,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				v, err := fn(i)
+				v, err := safeCall(i, fn)
 				if err != nil {
 					fail(i, err)
 					continue
@@ -98,4 +124,45 @@ feed:
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// MapAll is Map without cancellation: every job runs to completion even when
+// others fail, and failures come back positionally instead of aborting the
+// sweep. out[i] and errs[i] are fn(i)'s value and error (errs[i] == nil on
+// success; panics surface as *PanicError). Surviving results keep submission
+// order exactly as in Map, so a caller that skips failed indices aggregates
+// the survivors bit-identically to a serial loop over the same surviving
+// set.
+func MapAll[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, errs
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = safeCall(i, fn)
+		}
+		return out, errs
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = safeCall(i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out, errs
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Event is a scheduled callback. Events are created through Engine.At,
 // Engine.After or Engine.Recur and may be canceled before they fire. The
@@ -183,6 +186,12 @@ type Engine struct {
 	shard     int
 	windowEnd Time           // exclusive bound of the window being executed; 0 when idle
 	outbox    [][]crossEntry // staged cross-shard events, indexed by destination shard
+
+	// Wall-clock deadline (0 = none): Run breaks out once real time passes
+	// it, leaving the simulation mid-run with deadlineHit set. Checked every
+	// 4096 events so the hot loop stays syscall-free.
+	deadlineNs  int64
+	deadlineHit bool
 }
 
 // NewEngine returns an engine at time zero whose random streams derive from
@@ -430,6 +439,10 @@ func (e *Engine) Run(until Time) uint64 {
 	}
 	start := e.fired
 	for !e.stopped {
+		if e.deadlineNs != 0 && e.fired&4095 == 0 && time.Now().UnixNano() > e.deadlineNs {
+			e.deadlineHit = true
+			break
+		}
 		when, ok := e.peekNext()
 		if !ok || when > until {
 			break
@@ -438,6 +451,21 @@ func (e *Engine) Run(until Time) uint64 {
 	}
 	return e.fired - start
 }
+
+// SetWallDeadline arms a real-time budget for Run: once the wall clock
+// passes t, Run returns early and WallDeadlineHit reports true. The deadline
+// does not affect simulated time or determinism of the events that did fire;
+// it only bounds how long a run may hold the process. Zero time disarms it.
+func (e *Engine) SetWallDeadline(t time.Time) {
+	if t.IsZero() {
+		e.deadlineNs = 0
+		return
+	}
+	e.deadlineNs = t.UnixNano()
+}
+
+// WallDeadlineHit reports whether a Run was cut short by SetWallDeadline.
+func (e *Engine) WallDeadlineHit() bool { return e.deadlineHit }
 
 // RunUntilIdle executes events until none remain or the engine is stopped.
 func (e *Engine) RunUntilIdle() uint64 { return e.Run(Forever) }

@@ -65,6 +65,12 @@ type ShardGroup struct {
 	stopped atomic.Bool
 	stats   GroupStats
 
+	// Wall-clock deadline (0 = none), checked between windows: the window in
+	// flight always completes, so a deadline exit leaves the same canonical
+	// barrier state as a Stop.
+	deadlineNs  int64
+	deadlineHit bool
+
 	batch []crossEntry // merge scratch, reused across barriers
 }
 
@@ -133,6 +139,29 @@ func (g *ShardGroup) Pending() int {
 // simulation state at exit does not depend on worker scheduling.
 func (g *ShardGroup) Stop() { g.stopped.Store(true) }
 
+// SetWallDeadline arms a real-time budget for Run, checked at window
+// barriers: once the wall clock passes t the run exits and WallDeadlineHit
+// reports true. Zero time disarms it.
+func (g *ShardGroup) SetWallDeadline(t time.Time) {
+	if t.IsZero() {
+		g.deadlineNs = 0
+		return
+	}
+	g.deadlineNs = t.UnixNano()
+}
+
+// WallDeadlineHit reports whether a Run was cut short by SetWallDeadline.
+func (g *ShardGroup) WallDeadlineHit() bool { return g.deadlineHit }
+
+// pastDeadline checks the wall-clock budget between windows.
+func (g *ShardGroup) pastDeadline() bool {
+	if g.deadlineNs != 0 && time.Now().UnixNano() > g.deadlineNs {
+		g.deadlineHit = true
+		return true
+	}
+	return false
+}
+
 // Stopped reports whether Stop was called.
 func (g *ShardGroup) Stopped() bool { return g.stopped.Load() }
 
@@ -192,7 +221,7 @@ func (g *ShardGroup) Run(until Time) uint64 {
 		// Serial windowed execution: same window/merge discipline, no
 		// goroutines. This is also the differential reference for the
 		// parallel path.
-		for !g.stopped.Load() {
+		for !g.stopped.Load() && !g.pastDeadline() {
 			_, end, ok := g.nextWindow(until)
 			if !ok {
 				break
@@ -242,7 +271,7 @@ func (g *ShardGroup) Run(until Time) uint64 {
 			}
 		}()
 	}
-	for !g.stopped.Load() {
+	for !g.stopped.Load() && !g.pastDeadline() {
 		var ok bool
 		_, end, ok = g.nextWindow(until)
 		if !ok {
