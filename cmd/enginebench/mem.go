@@ -78,27 +78,45 @@ type memReport struct {
 // where construction cost — per-rank, per-node, per-thread object graphs —
 // carries real weight.
 func memScenarios() []pdesScenario {
-	return append(pdesScenarios(), pdesScenario{
-		name: "mem-cluster-256",
-		detail: "4 Allreduce calls on a 256-node x 16-CPU vanilla cluster " +
-			"(4096 CPUs): the construction-heavy point where flattened " +
-			"per-rank state matters most",
-		nodes: 256, calls: 4,
-	})
+	return append(pdesScenarios(),
+		pdesScenario{
+			name: "mem-cluster-256",
+			detail: "4 Allreduce calls on a 256-node x 16-CPU vanilla cluster " +
+				"(4096 CPUs): the construction-heavy point where flattened " +
+				"per-rank state matters most",
+			nodes: 256, calls: 4,
+		},
+		pdesScenario{
+			name: "mem-opt-shortlook-8",
+			detail: "the short-lookahead jittered scenario on the optimistic " +
+				"(Time Warp) core at 2 workers: snapshot records, segments, " +
+				"staged sends and recycled events are all pooled, so bytes " +
+				"per event must stay on par with the serial run",
+			nodes: 8, calls: 128, jitter: 2 * sim.Microsecond,
+			lookahead: 6 * sim.Microsecond,
+			core:      sim.CoreOptimistic, memWorkers: 2,
+		},
+	)
 }
 
 // measureMemOnce runs one rep of a scenario under MemStats bracketing.
 func measureMemOnce(s pdesScenario) (memMeasurement, error) {
+	prev := sim.DefaultCore
+	sim.DefaultCore = s.core // zero value = CoreWheel, the default
+	defer func() { sim.DefaultCore = prev }()
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
-	c := coschedsim.MustBuild(pdesConfig(s, 0, 1))
+	c := coschedsim.MustBuild(pdesConfig(s, s.memWorkers, 1))
 	if err := pdesRun(s, c); err != nil {
 		return memMeasurement{}, err
 	}
 	fired := c.Eng.Fired()
-	if c.Group != nil {
+	switch {
+	case c.Group != nil:
 		fired = c.Group.Fired()
+	case c.OptGroup != nil:
+		fired = c.OptGroup.Fired()
 	}
 	runtime.ReadMemStats(&m1)
 	m := memMeasurement{
@@ -203,6 +221,62 @@ func shardedWindowBody(b *testing.B) {
 	g.Run(sim.Time(b.N) * lookahead)
 }
 
+// optimisticIntLayer checkpoints one int through a pooled snapshot so the
+// micro-benchmark's speculation exercises the save/restore path without
+// boxing allocations of its own.
+type optimisticIntLayer struct {
+	v    *int
+	pool []*int
+}
+
+func (l *optimisticIntLayer) Save() any {
+	var s *int
+	if k := len(l.pool); k > 0 {
+		s = l.pool[k-1]
+		l.pool[k-1] = nil
+		l.pool = l.pool[:k-1]
+	} else {
+		s = new(int)
+	}
+	*s = *l.v
+	return s
+}
+
+func (l *optimisticIntLayer) Restore(snap any) { *l.v = *snap.(*int) }
+func (l *optimisticIntLayer) Release(snap any) { l.pool = append(l.pool, snap.(*int)) }
+
+// optimisticSpeculateBody is the Time Warp steady-state micro-benchmark:
+// the same 4-shard / 2-worker / cross-shard-send-every-4th-firing loop as
+// shardedWindowBody, but on the optimistic core with a registered checkpoint
+// layer per shard, driven for b.N lookaheads of simulated time. AllocsPerOp
+// is the speculation machinery's steady-state cost on top of the event
+// chains — snapshots, segment bookkeeping, staged sends, recycled events —
+// and the acceptance target is parity with sharded-window-loop (zero extra
+// bytes per op). BenchmarkOptimisticSteadyAllocs in internal/sim is the
+// test-suite twin.
+func optimisticSpeculateBody(b *testing.B) {
+	const shards = 4
+	lookahead := 24 * sim.Microsecond
+	g := sim.NewOptimisticGroup(1, shards, 2, lookahead)
+	counters := make([]int, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		e := g.Shard(i)
+		e.AddShardState(&optimisticIntLayer{v: &counters[i]})
+		e.Recur(sim.Time(i+1)*sim.Microsecond, "chain", func() sim.Time {
+			counters[i]++
+			if counters[i]%4 == 0 {
+				dst := g.Shard((i + 1) % shards)
+				e.ScheduleOn(dst, e.Now()+lookahead, "cross", func() {})
+			}
+			return e.Now() + 10*sim.Microsecond
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(sim.Time(b.N) * lookahead)
+}
+
 // memMicros names the micro-benchmarks recorded in the report.
 func memMicros() []struct {
 	name, detail string
@@ -224,6 +298,14 @@ func memMicros() []struct {
 				"time-window machinery: 4 shards, 2 workers, cross-shard sends; " +
 				"mirrors BenchmarkShardedWindowAllocs",
 			body: shardedWindowBody,
+		},
+		{
+			name: "optimistic-speculate",
+			detail: "per-lookahead steady-state allocations of the Time Warp " +
+				"machinery: 4 shards, 2 workers, checkpoint layers, cross-shard " +
+				"sends; target is parity with sharded-window-loop (speculation " +
+				"adds zero bytes); mirrors BenchmarkOptimisticSteadyAllocs",
+			body: optimisticSpeculateBody,
 		},
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"coschedsim/internal/experiment"
+	"coschedsim/internal/sim"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func run() int {
 		seed := fs.Int64("seed", 1, "base RNG seed")
 		procs := fs.Int("procs", 0, "total worker budget (0 = GOMAXPROCS, 1 = serial)")
 		shardProcs := fs.Int("shard-procs", 0, "workers per single run on the sharded engine core (carved out of -procs; 0/1 = serial engine per run)")
+		core := fs.String("core", "", "engine core per simulation: heap, wheel, sharded or optimistic (default wheel; outputs are bit-identical across cores)")
 		csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose := fs.Bool("v", false, "print per-run progress")
 		checkpoint := fs.String("checkpoint", "", "append per-run results to this JSONL file as the sweep progresses")
@@ -108,6 +110,20 @@ func run() int {
 		}
 		if *resume && *checkpoint == "" {
 			fmt.Fprintln(os.Stderr, "parsim: -resume needs -checkpoint FILE to replay from")
+			return 2
+		}
+		switch *core {
+		case "":
+		case "heap":
+			sim.DefaultCore = sim.CoreHeap
+		case "wheel":
+			sim.DefaultCore = sim.CoreWheel
+		case "sharded":
+			sim.DefaultCore = sim.CoreSharded
+		case "optimistic":
+			sim.DefaultCore = sim.CoreOptimistic
+		default:
+			fmt.Fprintf(os.Stderr, "parsim: -core %q: pick heap, wheel, sharded or optimistic\n", *core)
 			return 2
 		}
 		if os.Args[1] == "all" {
@@ -261,9 +277,15 @@ flags for run/all (may precede or follow experiment names):
                procs/shard-procs, so the total never exceeds -procs.
                0 or 1 runs each simulation on the serial engine. Outputs
                are bit-identical at any setting.
+  -core NAME   engine core per simulation: heap, wheel (default), sharded,
+               or optimistic (Time Warp: shards speculate past the fabric
+               lookahead and roll back on cross-shard surprises; workers
+               default to -shard-procs or GOMAXPROCS). Outputs are
+               bit-identical across cores.
   -csv         CSV output
   -v           progress on stderr (includes per-run pdes window stats
-               when -shard-procs is active)
+               when -shard-procs is active, and rollback/GVT/anti-message
+               stats under -core optimistic)
   -checkpoint FILE   append per-run results to FILE (JSONL) as they finish
   -resume      with -checkpoint: replay completed runs from FILE and only
                simulate the missing ones (same sweep options required)

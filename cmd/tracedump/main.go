@@ -32,13 +32,15 @@ func main() {
 	buf := coschedsim.NewTraceBuffer(16 << 20)
 	buf.SkipTicks(true)
 	buf.FilterNode(0)
-	c.Nodes[0].SetSink(buf)
+	// SetTraceSink (rather than Nodes[0].SetSink directly) returns a marker
+	// that stays committed-only if the run is ever put on the optimistic core.
+	mk := c.SetTraceSink(0, buf)
 
 	res, err := coschedsim.RunAggregate(c, coschedsim.AggregateSpec{
 		Loops: 1, CallsPerLoop: *calls,
 		Compute:    coschedsim.Time(grain.Nanoseconds()),
 		TraceEvery: 64,
-		Tracer:     buf,
+		Tracer:     mk,
 	}, coschedsim.Hour)
 	if err != nil || !res.Completed {
 		log.Fatalf("benchmark failed: %v", err)

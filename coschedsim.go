@@ -209,7 +209,8 @@ var NewBatchScheduler = batch.NewScheduler
 
 // Tracing (the simulator's AIX-trace analogue).
 type (
-	// TraceBuffer captures scheduler events; install with Node.SetSink.
+	// TraceBuffer captures scheduler events; install with
+	// Cluster.SetTraceSink (committed-only under the optimistic core).
 	TraceBuffer = trace.Buffer
 	// TraceRecord is one captured event.
 	TraceRecord = trace.Record

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"coschedsim/internal/fault"
-	"coschedsim/internal/mpi"
 	"coschedsim/internal/sim"
 )
 
@@ -17,28 +16,9 @@ import (
 func faultTrace(t *testing.T, cfg Config, calls int) ([]sim.Time, bool, sim.Time, uint64, FaultReport) {
 	t.Helper()
 	c := MustBuild(cfg)
-	var times []sim.Time
-	var t0 sim.Time
-	done, ok := c.Launch(func(r *mpi.Rank) {
-		var loop func(i int)
-		loop = func(i int) {
-			if i == calls {
-				r.Done()
-				return
-			}
-			if r.ID() == 0 {
-				t0 = r.Now()
-			}
-			r.Allreduce(float64(r.ID()), func(float64) {
-				if r.ID() == 0 {
-					times = append(times, r.Now()-t0)
-				}
-				loop(i + 1)
-			})
-		}
-		loop(0)
-	}, 10*sim.Minute)
-	return times, ok, done, c.Job.P2PSends(), c.FaultReport()
+	p := newRank0Probe(c)
+	done, ok := c.Launch(p.program(calls), 10*sim.Minute)
+	return p.times, ok, done, c.Job.P2PSends(), c.FaultReport()
 }
 
 const detect = 50 * sim.Microsecond
@@ -226,6 +206,13 @@ func TestFaultyScenarioBitIdenticalAcrossCores(t *testing.T) {
 	for _, w := range []int{1, 2, 4} {
 		if got := run(sim.CoreWheel, w); !reflect.DeepEqual(ref, got) {
 			t.Errorf("sharded core @ %d workers diverges from serial wheel:\nserial:  %+v\nsharded: %+v", w, ref, got)
+		}
+	}
+	// The optimistic core must hold the same pin: rollbacks of speculated
+	// faults (crashes, aborts, retransmits) may not leak into any count.
+	for _, w := range []int{1, 2, 4} {
+		if got := run(sim.CoreOptimistic, w); !reflect.DeepEqual(ref, got) {
+			t.Errorf("optimistic core @ %d workers diverges from serial wheel:\nserial:     %+v\noptimistic: %+v", w, ref, got)
 		}
 	}
 }

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"coschedsim/internal/mpi"
+	"coschedsim/internal/sim"
+	"coschedsim/internal/trace"
+)
+
+// rank0Probe records rank 0's per-call Allreduce times through a rollback
+// layer, so the same fingerprint helpers serve every engine core: on the
+// optimistic core a rolled-back call's append and t0 write are undone by
+// Restore, and registration is a no-op everywhere else.
+type rank0Probe struct {
+	t0    sim.Time
+	times []sim.Time
+	pool  []*rank0ProbeSnap
+}
+
+type rank0ProbeSnap struct {
+	t0 sim.Time
+	n  int
+}
+
+func newRank0Probe(c *Cluster) *rank0Probe {
+	p := &rank0Probe{}
+	c.Nodes[0].Engine().AddShardState(p)
+	return p
+}
+
+func (p *rank0Probe) Save() any {
+	var s *rank0ProbeSnap
+	if k := len(p.pool); k > 0 {
+		s = p.pool[k-1]
+		p.pool[k-1] = nil
+		p.pool = p.pool[:k-1]
+	} else {
+		s = &rank0ProbeSnap{}
+	}
+	s.t0, s.n = p.t0, len(p.times)
+	return s
+}
+
+func (p *rank0Probe) Restore(snap any) {
+	s := snap.(*rank0ProbeSnap)
+	p.t0 = s.t0
+	p.times = p.times[:s.n]
+}
+
+func (p *rank0Probe) Release(snap any) { p.pool = append(p.pool, snap.(*rank0ProbeSnap)) }
+
+// program returns the fixed Allreduce-loop fingerprint program; the loop
+// index rides the recursion, so only the probe needs checkpointing.
+func (p *rank0Probe) program(calls int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		var loop func(i int)
+		loop = func(i int) {
+			if i == calls {
+				r.Done()
+				return
+			}
+			if r.ID() == 0 {
+				p.t0 = r.Now()
+			}
+			r.Allreduce(float64(r.ID()), func(float64) {
+				if r.ID() == 0 {
+					p.times = append(p.times, r.Now()-p.t0)
+				}
+				loop(i + 1)
+			})
+		}
+		loop(0)
+	}
+}
+
+// withCore runs fn with sim.DefaultCore set to core.
+func withCore(core sim.Core, fn func()) {
+	prev := sim.DefaultCore
+	sim.DefaultCore = core
+	defer func() { sim.DefaultCore = prev }()
+	fn()
+}
+
+// TestOptimisticClusterBitIdentical is the cluster-level pin for the Time
+// Warp core: the same configurations as the conservative-core pin, run
+// optimistically at several worker counts, must reproduce the serial
+// fingerprint exactly — per-call times, completion time, send counts.
+func TestOptimisticClusterBitIdentical(t *testing.T) {
+	const calls = 60
+	for _, preset := range []struct {
+		name string
+		cfg  func(int64) Config
+	}{
+		{"vanilla", func(s int64) Config { return Vanilla(4, 16, s) }},
+		{"prototype", func(s int64) Config { return Prototype(4, 16, s) }},
+		// Jitter shortens the useful lookahead and provokes rollbacks —
+		// exactly the regime the optimistic core exists for.
+		{"jitter", func(s int64) Config {
+			cfg := Vanilla(4, 16, s)
+			cfg.Network.Jitter = 3 * sim.Microsecond
+			return cfg
+		}},
+	} {
+		t.Run(preset.name, func(t *testing.T) {
+			refTimes, refDone, refSends, refC := allreduceTrace(t, preset.cfg(7), calls)
+			if refC.Group != nil || refC.OptGroup != nil {
+				t.Fatal("serial build unexpectedly sharded")
+			}
+			for _, workers := range []int{1, 2, 4} {
+				var times []sim.Time
+				var done sim.Time
+				var sends uint64
+				var c *Cluster
+				withCore(sim.CoreOptimistic, func() {
+					cfg := preset.cfg(7)
+					cfg.IntraRunWorkers = workers
+					times, done, sends, c = allreduceTrace(t, cfg, calls)
+				})
+				if c.OptGroup == nil {
+					t.Fatalf("workers=%d: optimistic build has no group", workers)
+				}
+				if done != refDone || sends != refSends {
+					t.Fatalf("workers=%d: done=%v sends=%d, want %v/%d", workers, done, sends, refDone, refSends)
+				}
+				if len(times) != len(refTimes) {
+					t.Fatalf("workers=%d: %d calls recorded, want %d", workers, len(times), len(refTimes))
+				}
+				for i := range times {
+					if times[i] != refTimes[i] {
+						t.Fatalf("workers=%d: call %d took %v, want %v", workers, i, times[i], refTimes[i])
+					}
+				}
+				st := c.OptGroup.Stats()
+				if st.CommittedEvents == 0 || st.GVTWaves == 0 {
+					t.Errorf("workers=%d: no committed events/GVT waves recorded: %+v", workers, st)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimisticGating verifies configurations the optimistic core cannot
+// shard fall back to the serial engine and still run correctly.
+func TestOptimisticGating(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		opt    bool
+	}{
+		{"shardable", func(c *Config) {}, true},
+		{"hardware-collectives", func(c *Config) {
+			c.MPI.HardwareCollectives = true
+			c.MPI.HWCollectiveLatency = 20 * sim.Microsecond
+		}, false},
+		{"one-node", func(c *Config) { c.Nodes = 1 }, false},
+		{"group-covers-all-nodes", func(c *Config) { c.ShardNodeGroup = 4 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			withCore(sim.CoreOptimistic, func() {
+				cfg := Vanilla(4, 16, 7)
+				cfg.IntraRunWorkers = 2
+				tc.mutate(&cfg)
+				c := MustBuild(cfg)
+				if got := c.OptGroup != nil; got != tc.opt {
+					t.Fatalf("optimistic=%v, want %v", got, tc.opt)
+				}
+				if c.Group != nil {
+					t.Fatal("optimistic default must not build the conservative group")
+				}
+				done, ok := c.Launch(func(r *mpi.Rank) {
+					r.Allreduce(1, func(float64) { r.Done() })
+				}, sim.Minute)
+				if !ok || done <= 0 {
+					t.Fatalf("run failed: done=%v ok=%v", done, ok)
+				}
+			})
+		})
+	}
+}
+
+// TestOptimisticCommittedTrace pins committed-only trace emission: the ring
+// a workload traces into through Cluster.SetTraceSink must hold exactly the
+// records a serial run captures — speculation that rolled back leaves no
+// residue — including application marks routed through the returned Marker.
+func TestOptimisticCommittedTrace(t *testing.T) {
+	run := func(core sim.Core, workers int) []trace.Record {
+		var recs []trace.Record
+		withCore(core, func() {
+			cfg := Prototype(4, 8, 13)
+			cfg.IntraRunWorkers = workers
+			c := MustBuild(cfg)
+			buf := trace.NewBuffer(1 << 15)
+			m := c.SetTraceSink(0, buf)
+			p := newRank0Probe(c)
+			const calls = 40
+			if _, ok := c.Launch(func(r *mpi.Rank) {
+				var loop func(i int)
+				loop = func(i int) {
+					if i == calls {
+						r.Done()
+						return
+					}
+					if r.ID() == 0 {
+						p.t0 = r.Now()
+						if i%8 == 0 {
+							m.Mark(r.Now(), r.Node().ID(), "call-begin")
+						}
+					}
+					r.Allreduce(float64(r.ID()), func(float64) {
+						if r.ID() == 0 {
+							p.times = append(p.times, r.Now()-p.t0)
+						}
+						loop(i + 1)
+					})
+				}
+				loop(0)
+			}, 10*sim.Minute); !ok {
+				t.Fatal("traced run did not complete")
+			}
+			if cm, isCommitted := m.(*trace.Committed); isCommitted {
+				cm.Flush()
+			}
+			recs = buf.Records()
+		})
+		return recs
+	}
+	ref := run(sim.CoreWheel, 0)
+	if len(ref) == 0 {
+		t.Fatal("reference run captured no trace records")
+	}
+	for _, w := range []int{1, 2, 4} {
+		got := run(sim.CoreOptimistic, w)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("optimistic trace @ %d workers diverges: %d records, want %d", w, len(got), len(ref))
+		}
+	}
+}

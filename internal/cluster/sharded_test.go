@@ -13,31 +13,12 @@ import (
 func allreduceTrace(t *testing.T, cfg Config, calls int) ([]sim.Time, sim.Time, uint64, *Cluster) {
 	t.Helper()
 	c := MustBuild(cfg)
-	var times []sim.Time
-	var t0 sim.Time
-	done, ok := c.Launch(func(r *mpi.Rank) {
-		var loop func(i int)
-		loop = func(i int) {
-			if i == calls {
-				r.Done()
-				return
-			}
-			if r.ID() == 0 {
-				t0 = r.Now()
-			}
-			r.Allreduce(float64(r.ID()), func(float64) {
-				if r.ID() == 0 {
-					times = append(times, r.Now()-t0)
-				}
-				loop(i + 1)
-			})
-		}
-		loop(0)
-	}, 10*sim.Minute)
+	p := newRank0Probe(c)
+	done, ok := c.Launch(p.program(calls), 10*sim.Minute)
 	if !ok {
 		t.Fatal("allreduce loop did not complete")
 	}
-	return times, done, c.Job.P2PSends(), c
+	return p.times, done, c.Job.P2PSends(), c
 }
 
 // TestShardedClusterBitIdentical is the cluster-level determinism pin: the

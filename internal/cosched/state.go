@@ -1,0 +1,91 @@
+package cosched
+
+import (
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/sim"
+)
+
+// Optimistic-core checkpointing: each node's co-scheduler daemon state — the
+// window flag, registered processes, hint counters and the transition log —
+// is owned by that node's shard and must rewind with it.
+
+// procSnap is one registry entry at snapshot time.
+type procSnap struct {
+	id       int
+	entry    *procEntry
+	attached bool
+}
+
+// nsSnap is one pooled checkpoint of a nodeSched.
+type nsSnap struct {
+	inFavored   bool
+	hadProcs    bool
+	cycles      uint64
+	fineGrain   int
+	extended    sim.Time
+	down        bool
+	drain       bool
+	replans     int
+	transitions int
+	procs       []procSnap
+}
+
+type nsState struct {
+	ns   *nodeSched
+	pool []*nsSnap
+}
+
+// StateForNode returns a checkpointable view of the co-scheduler's state on
+// one node, for registration with that node's optimistic shard engine.
+// Panics if the node was never added.
+func (s *Scheduler) StateForNode(n *kernel.Node) sim.ShardState {
+	ns := s.nodes[n]
+	if ns == nil {
+		panic("cosched: StateForNode on unmanaged node")
+	}
+	return &nsState{ns: ns}
+}
+
+func (st *nsState) Save() any {
+	var sn *nsSnap
+	if k := len(st.pool); k > 0 {
+		sn = st.pool[k-1]
+		st.pool[k-1] = nil
+		st.pool = st.pool[:k-1]
+	} else {
+		sn = &nsSnap{}
+	}
+	ns := st.ns
+	sn.inFavored, sn.hadProcs, sn.cycles = ns.inFavored, ns.hadProcs, ns.cycles
+	sn.fineGrain, sn.extended = ns.fineGrain, ns.extended
+	sn.down, sn.drain, sn.replans = ns.down, ns.drain, ns.replans
+	sn.transitions = len(ns.transitions)
+	sn.procs = sn.procs[:0]
+	for id, e := range ns.procs {
+		sn.procs = append(sn.procs, procSnap{id: id, entry: e, attached: e.attached})
+	}
+	return sn
+}
+
+func (st *nsState) Restore(snap any) {
+	sn := snap.(*nsSnap)
+	ns := st.ns
+	ns.inFavored, ns.hadProcs, ns.cycles = sn.inFavored, sn.hadProcs, sn.cycles
+	ns.fineGrain, ns.extended = sn.fineGrain, sn.extended
+	ns.down, ns.drain, ns.replans = sn.down, sn.drain, sn.replans
+	ns.transitions = ns.transitions[:sn.transitions]
+	clear(ns.procs)
+	for _, p := range sn.procs {
+		p.entry.attached = p.attached
+		ns.procs[p.id] = p.entry
+	}
+}
+
+func (st *nsState) Release(snap any) {
+	sn := snap.(*nsSnap)
+	for i := range sn.procs {
+		sn.procs[i].entry = nil
+	}
+	sn.procs = sn.procs[:0]
+	st.pool = append(st.pool, sn)
+}

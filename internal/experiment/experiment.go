@@ -178,7 +178,7 @@ func Registry() []Runner {
 		{"abl-gang", "Baseline: coarse-quantum gang scheduler (paper §6 category 1)", AblationGangScheduler},
 		{"abl-fairshare", "Baseline: fair-share usage decay (paper §6 category 3)", AblationFairShare},
 		{"abl-fault", "Ablation: fault rate x resilience policy (retry vs abort vs co-sched re-plan)", AblationFault},
-		{"huge", "Extended: vanilla scaling to 1024 nodes / 16384 procs, paper-range fit extrapolated", HugeScaling},
+		{"huge", "Extended: vanilla and co-scheduled scaling to 1024 nodes / 16384 procs, paper-range fits extrapolated", HugeScaling},
 	}
 }
 

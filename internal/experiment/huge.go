@@ -11,12 +11,14 @@ import (
 
 // The huge tier extends the paper's Allreduce scaling question past the
 // hardware the authors had: they fit a line to 59-node (944-processor)
-// sweeps and argue the slope is what co-scheduling fixes. Here we rerun the
-// vanilla sweep at 256, 512 and 1024 sixteen-way nodes (up to 16384 ranks)
-// on the sharded engine core, fit the paper-range points alone, and check
-// how well that small-cluster fit extrapolates an order of magnitude out.
-// Runs stream their per-call timings through stats.Accum, so memory stays
-// O(ranks) rather than O(ranks + calls x runs).
+// sweeps and argue the slope is what co-scheduling fixes. Here we rerun
+// both the vanilla and the prototype (co-scheduled) sweeps at 256, 512 and
+// 1024 sixteen-way nodes (up to 16384 ranks) on the sharded engine core,
+// fit the paper-range points of each configuration alone, and check how
+// well each small-cluster fit extrapolates an order of magnitude out — the
+// paper's claim is precisely that the two slopes diverge, so the tier
+// reports both. Runs stream their per-call timings through stats.Accum, so
+// memory stays O(ranks) rather than O(ranks + calls x runs).
 
 // Huge sizes the extended sweep. Window stays zero on purpose: callsFor
 // would otherwise inflate the call count with the processor count, and at
@@ -62,10 +64,27 @@ func hugeNodes(max int, paper []int) []int {
 	return out
 }
 
-// HugeScaling is the "huge" runner: vanilla-kernel Allreduce scaling with
-// paper-range anchor points plus the extended points, a least-squares fit
-// over the anchors, and per-point extrapolation error of that fit at the
-// extended scales.
+// hugeConfigs are the kernel configurations the huge tier sweeps: the
+// vanilla kernel whose slope the paper indicts, and the full prototype
+// (co-scheduler, aligned big ticks, IPI preemption) whose slope is the fix.
+func hugeConfigs() []struct {
+	tag string
+	cfg func(nodes, tasksPerNode int, seed int64) cluster.Config
+} {
+	return []struct {
+		tag string
+		cfg func(nodes, tasksPerNode int, seed int64) cluster.Config
+	}{
+		{"vanilla", cluster.Vanilla},
+		{"proto", cluster.Prototype},
+	}
+}
+
+// HugeScaling is the "huge" runner: Allreduce scaling for the vanilla and
+// the prototype (co-scheduled) configurations with paper-range anchor
+// points plus the extended points, a least-squares fit over each
+// configuration's anchors, and per-point extrapolation error of that fit at
+// the extended scales. Rows are tagged <config>/paper or <config>/huge.
 func HugeScaling(o Options) (*Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
@@ -77,14 +96,17 @@ func HugeScaling(o Options) (*Table, error) {
 	}
 
 	sweep := append(append([]int{}, paper...), huge...)
-	jobs := make([]runDesc, 0, len(sweep)*o.Seeds)
-	for _, nodes := range sweep {
-		for s := 0; s < o.Seeds; s++ {
-			seed := o.BaseSeed + int64(1000*nodes) + int64(s)
-			jobs = append(jobs, runDesc{
-				Label: "huge", Nodes: nodes, SeedIdx: s, Seed: seed,
-				Cfg: cluster.Vanilla(nodes, 16, seed),
-			})
+	configs := hugeConfigs()
+	jobs := make([]runDesc, 0, len(configs)*len(sweep)*o.Seeds)
+	for _, cc := range configs {
+		for _, nodes := range sweep {
+			for s := 0; s < o.Seeds; s++ {
+				seed := o.BaseSeed + int64(1000*nodes) + int64(s)
+				jobs = append(jobs, runDesc{
+					Label: "huge/" + cc.tag, Nodes: nodes, SeedIdx: s, Seed: seed,
+					Cfg: cc.cfg(nodes, 16, seed),
+				})
+			}
 		}
 	}
 	outs, err := runStreamedJobs(o, jobs)
@@ -94,7 +116,7 @@ func HugeScaling(o Options) (*Table, error) {
 
 	t := &Table{
 		ID:    "HUGE",
-		Title: fmt.Sprintf("Allreduce vs procs to %d nodes: vanilla kernel, paper-range fit extrapolated", o.MaxNodes),
+		Title: fmt.Sprintf("Allreduce vs procs to %d nodes: vanilla and co-scheduled prototype, paper-range fits extrapolated", o.MaxNodes),
 		Cols: []Column{
 			{Name: "procs"}, {Name: "mean", Unit: "us"}, {Name: "stddev", Unit: "us"},
 			{Name: "fit", Unit: "us"}, {Name: "extrap-err", Unit: "%"},
@@ -106,58 +128,66 @@ func HugeScaling(o Options) (*Table, error) {
 		mean  float64
 		sd    float64
 	}
-	pts := make([]point, 0, len(sweep))
-	for p := range sweep {
-		group := outs[p*o.Seeds : (p+1)*o.Seeds]
-		var means, sds []float64
-		for _, r := range group {
-			means = append(means, r.mean)
-			sds = append(sds, r.stddev)
+	slopes := make([]float64, len(configs))
+	perConfig := len(sweep) * o.Seeds
+	for ci, cc := range configs {
+		pts := make([]point, 0, len(sweep))
+		for p := range sweep {
+			base := ci*perConfig + p*o.Seeds
+			group := outs[base : base+o.Seeds]
+			var means, sds []float64
+			for _, r := range group {
+				means = append(means, r.mean)
+				sds = append(sds, r.stddev)
+			}
+			pts = append(pts, point{
+				procs: float64(group[0].procs),
+				mean:  stats.Summarize(means).Mean,
+				sd:    stats.Summarize(sds).Mean,
+			})
 		}
-		pts = append(pts, point{
-			procs: float64(group[0].procs),
-			mean:  stats.Summarize(means).Mean,
-			sd:    stats.Summarize(sds).Mean,
-		})
-	}
 
-	var xs, ys []float64
-	for _, p := range pts[:len(paper)] {
-		xs = append(xs, p.procs)
-		ys = append(ys, p.mean)
-	}
-	fit, err := stats.LinearFit(xs, ys)
-	if err != nil {
-		return nil, fmt.Errorf("experiment huge: paper-range fit: %w", err)
-	}
-
-	worst := 0.0
-	for i, p := range pts {
-		pred := fit.Eval(p.procs)
-		errPct := 0.0
-		if pred != 0 {
-			errPct = (p.mean - pred) / pred * 100
+		var xs, ys []float64
+		for _, p := range pts[:len(paper)] {
+			xs = append(xs, p.procs)
+			ys = append(ys, p.mean)
 		}
-		tag := "paper"
-		if i >= len(paper) {
-			tag = "huge"
-			if a := errPct; a < 0 {
-				a = -a
-				if a > worst {
+		fit, err := stats.LinearFit(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("experiment huge: %s paper-range fit: %w", cc.tag, err)
+		}
+		slopes[ci] = fit.Slope
+
+		worst := 0.0
+		for i, p := range pts {
+			pred := fit.Eval(p.procs)
+			errPct := 0.0
+			if pred != 0 {
+				errPct = (p.mean - pred) / pred * 100
+			}
+			tag := cc.tag + "/paper"
+			if i >= len(paper) {
+				tag = cc.tag + "/huge"
+				if a := errPct; a < 0 {
+					a = -a
+					if a > worst {
+						worst = a
+					}
+				} else if a > worst {
 					worst = a
 				}
-			} else if a > worst {
-				worst = a
 			}
+			t.AddRow(tag, p.procs, p.mean, p.sd, pred, errPct)
 		}
-		t.AddRow(tag, p.procs, p.mean, p.sd, pred, errPct)
+		t.AddNote("%s paper-range fit (procs <= %d): y = %.3f*x + %.0f us (R2=%.3f)",
+			cc.tag, int(pts[len(paper)-1].procs), fit.Slope, fit.Intercept, fit.R2)
+		if len(huge) > 0 {
+			t.AddNote("%s worst extrapolation error at extended scales: %.1f%%", cc.tag, worst)
+		}
 	}
-	t.AddNote("paper-range fit (procs <= %d): y = %.3f*x + %.0f us (R2=%.3f)",
-		int(pts[len(paper)-1].procs), fit.Slope, fit.Intercept, fit.R2)
-	if len(huge) > 0 {
-		t.AddNote("worst extrapolation error at extended scales: %.1f%%", worst)
+	if slopes[1] != 0 {
+		t.AddNote("slope ratio vanilla/proto: %.1fx — the paper's co-scheduling claim carried to %.0fx the fit range's top point",
+			slopes[0]/slopes[1], float64(sweep[len(sweep)-1])/float64(paper[len(paper)-1]))
 	}
-	t.AddNote("paper: vanilla scaling is linear in processor count; the extended points test that claim at %.0fx the fit range's top point",
-		pts[len(pts)-1].procs/pts[len(paper)-1].procs)
 	return t, nil
 }

@@ -18,12 +18,17 @@ func TestHugeScalingSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Paper anchors 8 and 16, one extended point at 24 nodes.
-	if len(tab.Rows) != 3 {
-		t.Fatalf("rows = %d, want 3:\n%+v", len(tab.Rows), tab.Rows)
+	// Paper anchors 8 and 16, one extended point at 24 nodes, for each of
+	// the vanilla and prototype configurations.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6:\n%+v", len(tab.Rows), tab.Rows)
 	}
-	if tab.RowTags[0] != "paper" || tab.RowTags[1] != "paper" || tab.RowTags[2] != "huge" {
-		t.Fatalf("row tags = %v, want [paper paper huge]", tab.RowTags)
+	want := []string{"vanilla/paper", "vanilla/paper", "vanilla/huge",
+		"proto/paper", "proto/paper", "proto/huge"}
+	for i, w := range want {
+		if tab.RowTags[i] != w {
+			t.Fatalf("row tags = %v, want %v", tab.RowTags, want)
+		}
 	}
 	for i, row := range tab.Rows {
 		if len(row) != 5 {
@@ -37,14 +42,20 @@ func TestHugeScalingSmoke(t *testing.T) {
 			t.Fatalf("row %d: non-positive fit value %v", i, fit)
 		}
 	}
-	foundFit := false
+	fits, ratio := 0, false
 	for _, n := range tab.Notes {
 		if strings.Contains(n, "paper-range fit") {
-			foundFit = true
+			fits++
+		}
+		if strings.Contains(n, "slope ratio vanilla/proto") {
+			ratio = true
 		}
 	}
-	if !foundFit {
-		t.Fatalf("no paper-range fit note in %v", tab.Notes)
+	if fits != 2 {
+		t.Fatalf("want one paper-range fit note per configuration in %v", tab.Notes)
+	}
+	if !ratio {
+		t.Fatalf("no slope-ratio note in %v", tab.Notes)
 	}
 }
 

@@ -185,6 +185,13 @@ func runJobs(o Options, jobs []runDesc, streamed bool) ([]runOut, error) {
 				j.Label, j.Nodes, j.SeedIdx, gs.Windows, gs.CrossShardEvents,
 				ns.CrossShardSends, avg, float64(gs.BarrierStallNs)/1e6)
 		}
+		if c.OptGroup != nil {
+			os := c.OptGroup.Stats()
+			o.progress("%s nodes=%d seed=%d timewarp rounds=%d gvt-waves=%d committed=%d speculated=%d rollbacks=%d rolled-back=%d anti-msgs=%d cross-events=%d window=%d barrier-stall=%.0fms",
+				j.Label, j.Nodes, j.SeedIdx, os.Rounds, os.GVTWaves, os.CommittedEvents,
+				os.SpeculatedEvents, os.Rollbacks, os.RolledBackEvents, os.AntiMessages,
+				os.CrossShardEvents, os.Window, float64(os.BarrierStallNs)/1e6)
+		}
 		r := runOut{procs: c.Procs(), mean: sum.Mean, stddev: sum.Stddev}
 		if cp != nil {
 			cp.record(key, r)

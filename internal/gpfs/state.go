@@ -1,0 +1,71 @@
+package gpfs
+
+import "coschedsim/internal/sim"
+
+// Optimistic-core checkpointing: the service's buffer accounting, blocked
+// writer/reader queues and counters all mutate as events execute, so Time
+// Warp rollback must rewind them in lockstep with the kernel threads that
+// drive the worker loops. Thread state itself is the kernel layer's problem;
+// this layer covers only the Service.
+
+// serviceSnap is one pooled checkpoint of a Service's mutable state. The
+// writer/reader queue entries are value copies; their wake funcs are bound
+// method values on threads whose state the kernel layer restores.
+type serviceSnap struct {
+	claimed  float64
+	buffered float64
+	stalled  uint64
+	stat     Stats
+	stopFlag bool
+	idle     []bool
+	writers  []writer
+	readers  []reader
+}
+
+type serviceState struct {
+	s    *Service
+	pool []*serviceSnap
+}
+
+// ShardState returns a checkpointable view of the service for the optimistic
+// core. Register it with the engine of the shard that owns this node.
+func (s *Service) ShardState() sim.ShardState { return &serviceState{s: s} }
+
+func (st *serviceState) Save() any {
+	var sn *serviceSnap
+	if n := len(st.pool); n > 0 {
+		sn = st.pool[n-1]
+		st.pool[n-1] = nil
+		st.pool = st.pool[:n-1]
+	} else {
+		sn = &serviceSnap{}
+	}
+	s := st.s
+	sn.claimed, sn.buffered = s.claimed, s.buffered
+	sn.stalled, sn.stat, sn.stopFlag = s.stalled, s.stat, s.stopFlag
+	sn.idle = append(sn.idle[:0], s.idle...)
+	sn.writers = append(sn.writers[:0], s.writers...)
+	sn.readers = append(sn.readers[:0], s.readers...)
+	return sn
+}
+
+func (st *serviceState) Restore(snap any) {
+	sn := snap.(*serviceSnap)
+	s := st.s
+	s.claimed, s.buffered = sn.claimed, sn.buffered
+	s.stalled, s.stat, s.stopFlag = sn.stalled, sn.stat, sn.stopFlag
+	s.idle = append(s.idle[:0], sn.idle...)
+	s.writers = append(s.writers[:0], sn.writers...)
+	s.readers = append(s.readers[:0], sn.readers...)
+}
+
+func (st *serviceState) Release(snap any) {
+	sn := snap.(*serviceSnap)
+	for i := range sn.writers {
+		sn.writers[i].wake = nil
+	}
+	for i := range sn.readers {
+		sn.readers[i].wake = nil
+	}
+	st.pool = append(st.pool, sn)
+}

@@ -1,0 +1,262 @@
+package kernel
+
+import "coschedsim/internal/sim"
+
+// Optimistic-core checkpointing. A Node's entire scheduling state — thread
+// states and continuations, CPU occupancy, run-queue order, accounting —
+// mutates as events execute, so the Time Warp core must be able to rewind it
+// to a segment boundary. Snapshots are pooled flat records: steady-state
+// speculation allocates nothing once the pools warm up.
+//
+// Event pointers (burstEnd, wakeEv) may be captured freely: the engine parks
+// fired and canceled Event records on the speculation segment instead of
+// recycling them, and its own rollback revives each at its original (when,
+// seq) queue position before layer Restore runs.
+
+// threadSnap is one thread's mutable state.
+type threadSnap struct {
+	proc      int
+	daemon    bool
+	prio      Priority
+	basePrio  Priority
+	fixedPrio bool
+	recentCPU sim.Time
+	state     State
+
+	homeCPU int
+	lastCPU int
+	cpu     *CPU
+
+	burstLeft sim.Time
+	burstEnd  *sim.Event
+	cont      func()
+	inCont    bool
+	moved     bool
+	spinning  bool
+	wakeEv    *sim.Event
+
+	queue    *runQueue
+	queueIdx int
+	queueSeq uint64
+
+	readySince  sim.Time
+	cpuTime     sim.Time
+	waitTime    sim.Time
+	dispatches  uint64
+	preemptions uint64
+	migrations  uint64
+	exitedAt    sim.Time
+}
+
+// cpuSnap is one CPU's mutable state, including its local run queue.
+type cpuSnap struct {
+	current    *Thread
+	lastThread *Thread
+	pendingIPI bool
+	busy       sim.Time
+	stolen     sim.Time
+	busySince  sim.Time
+	stolenMark sim.Time
+	ticksTaken uint64
+	localQ     []*Thread
+	localSeq   uint64
+}
+
+// nodeSnap is one pooled checkpoint of a whole node.
+type nodeSnap struct {
+	acct        nodeAcct
+	ipiInFlight int
+	nextTID     int
+	started     bool
+	threads     []threadSnap
+	cpus        []cpuSnap
+	globalQ     []*Thread
+	globalSeq   uint64
+}
+
+type nodeState struct {
+	n    *Node
+	pool []*nodeSnap
+}
+
+// ShardState returns a checkpointable view of the node for the optimistic
+// core. Register it with the engine of the shard that owns this node.
+func (n *Node) ShardState() sim.ShardState { return &nodeState{n: n} }
+
+func saveThread(s *threadSnap, t *Thread) {
+	s.proc, s.daemon = t.Proc, t.Daemon
+	s.prio, s.basePrio, s.fixedPrio = t.prio, t.basePrio, t.fixedPrio
+	s.recentCPU, s.state = t.recentCPU, t.state
+	s.homeCPU, s.lastCPU, s.cpu = t.homeCPU, t.lastCPU, t.cpu
+	s.burstLeft, s.burstEnd = t.burstLeft, t.burstEnd
+	s.cont, s.inCont, s.moved, s.spinning = t.cont, t.inCont, t.moved, t.spinning
+	s.wakeEv = t.wakeEv
+	s.queue, s.queueIdx, s.queueSeq = t.queue, t.queueIdx, t.queueSeq
+	s.readySince, s.cpuTime, s.waitTime = t.readySince, t.cpuTime, t.waitTime
+	s.dispatches, s.preemptions, s.migrations = t.dispatches, t.preemptions, t.migrations
+	s.exitedAt = t.exitedAt
+}
+
+func restoreThread(t *Thread, s *threadSnap) {
+	t.Proc, t.Daemon = s.proc, s.daemon
+	t.prio, t.basePrio, t.fixedPrio = s.prio, s.basePrio, s.fixedPrio
+	t.recentCPU, t.state = s.recentCPU, s.state
+	t.homeCPU, t.lastCPU, t.cpu = s.homeCPU, s.lastCPU, s.cpu
+	t.burstLeft, t.burstEnd = s.burstLeft, s.burstEnd
+	t.cont, t.inCont, t.moved, t.spinning = s.cont, s.inCont, s.moved, s.spinning
+	t.wakeEv = s.wakeEv
+	t.queue, t.queueIdx, t.queueSeq = s.queue, s.queueIdx, s.queueSeq
+	t.readySince, t.cpuTime, t.waitTime = s.readySince, s.cpuTime, s.waitTime
+	t.dispatches, t.preemptions, t.migrations = s.dispatches, s.preemptions, s.migrations
+	t.exitedAt = s.exitedAt
+}
+
+func (st *nodeState) Save() any {
+	var sn *nodeSnap
+	if k := len(st.pool); k > 0 {
+		sn = st.pool[k-1]
+		st.pool[k-1] = nil
+		st.pool = st.pool[:k-1]
+	} else {
+		sn = &nodeSnap{}
+	}
+	n := st.n
+	sn.acct = n.acct
+	sn.ipiInFlight, sn.nextTID, sn.started = n.ipiInFlight, n.nextTID, n.started
+	sn.globalQ = append(sn.globalQ[:0], n.globalQ.heap...)
+	sn.globalSeq = n.globalQ.seq
+
+	if cap(sn.threads) < len(n.threads) {
+		sn.threads = append(sn.threads, make([]threadSnap, len(n.threads)-len(sn.threads))...)
+	}
+	sn.threads = sn.threads[:len(n.threads)]
+	for i, t := range n.threads {
+		saveThread(&sn.threads[i], t)
+	}
+
+	if cap(sn.cpus) < len(n.cpus) {
+		sn.cpus = make([]cpuSnap, len(n.cpus))
+	}
+	sn.cpus = sn.cpus[:len(n.cpus)]
+	for i, c := range n.cpus {
+		cs := &sn.cpus[i]
+		cs.current, cs.lastThread, cs.pendingIPI = c.current, c.lastThread, c.pendingIPI
+		cs.busy, cs.stolen, cs.busySince, cs.stolenMark = c.busy, c.stolen, c.busySince, c.stolenMark
+		cs.ticksTaken = c.ticksTaken
+		cs.localQ = append(cs.localQ[:0], c.localQ.heap...)
+		cs.localSeq = c.localQ.seq
+	}
+	return sn
+}
+
+func (st *nodeState) Restore(snap any) {
+	sn := snap.(*nodeSnap)
+	n := st.n
+	n.acct = sn.acct
+	n.ipiInFlight, n.nextTID, n.started = sn.ipiInFlight, sn.nextTID, sn.started
+	n.globalQ.heap = append(n.globalQ.heap[:0], sn.globalQ...)
+	n.globalQ.seq = sn.globalSeq
+
+	// Threads created during the rolled-back speculation are dropped; their
+	// scheduled events were already unwound by the engine.
+	for i := len(sn.threads); i < len(n.threads); i++ {
+		n.threads[i] = nil
+	}
+	n.threads = n.threads[:len(sn.threads)]
+	for i, t := range n.threads {
+		restoreThread(t, &sn.threads[i])
+	}
+
+	for i, c := range n.cpus {
+		cs := &sn.cpus[i]
+		c.current, c.lastThread, c.pendingIPI = cs.current, cs.lastThread, cs.pendingIPI
+		c.busy, c.stolen, c.busySince, c.stolenMark = cs.busy, cs.stolen, cs.busySince, cs.stolenMark
+		c.ticksTaken = cs.ticksTaken
+		c.localQ.heap = append(c.localQ.heap[:0], cs.localQ...)
+		c.localQ.seq = cs.localSeq
+	}
+}
+
+func (st *nodeState) Release(snap any) {
+	sn := snap.(*nodeSnap)
+	for i := range sn.threads {
+		s := &sn.threads[i]
+		s.cpu, s.burstEnd, s.wakeEv, s.cont, s.queue = nil, nil, nil, nil, nil
+	}
+	for i := range sn.cpus {
+		cs := &sn.cpus[i]
+		cs.current, cs.lastThread = nil, nil
+		for j := range cs.localQ {
+			cs.localQ[j] = nil
+		}
+		cs.localQ = cs.localQ[:0]
+	}
+	for i := range sn.globalQ {
+		sn.globalQ[i] = nil
+	}
+	sn.globalQ = sn.globalQ[:0]
+	st.pool = append(st.pool, sn)
+}
+
+// supSnap is one pooled checkpoint of a Supervisor.
+type supSnap struct {
+	threads  []*Thread
+	pending  []bool
+	watches  int
+	restarts int
+	stopped  bool
+}
+
+type supState struct {
+	s    *Supervisor
+	pool []*supSnap
+}
+
+// ShardState returns a checkpointable view of the supervisor for the
+// optimistic core.
+func (s *Supervisor) ShardState() sim.ShardState { return &supState{s: s} }
+
+func (st *supState) Save() any {
+	var sn *supSnap
+	if k := len(st.pool); k > 0 {
+		sn = st.pool[k-1]
+		st.pool[k-1] = nil
+		st.pool = st.pool[:k-1]
+	} else {
+		sn = &supSnap{}
+	}
+	s := st.s
+	sn.watches = len(s.watches)
+	sn.threads = sn.threads[:0]
+	sn.pending = sn.pending[:0]
+	for _, w := range s.watches {
+		sn.threads = append(sn.threads, w.th)
+		sn.pending = append(sn.pending, w.pending)
+	}
+	sn.restarts = len(s.restarts)
+	sn.stopped = s.stopped
+	return sn
+}
+
+func (st *supState) Restore(snap any) {
+	sn := snap.(*supSnap)
+	s := st.s
+	for i := sn.watches; i < len(s.watches); i++ {
+		s.watches[i] = nil
+	}
+	s.watches = s.watches[:sn.watches]
+	for i, w := range s.watches {
+		w.th = sn.threads[i]
+		w.pending = sn.pending[i]
+	}
+	s.restarts = s.restarts[:sn.restarts]
+	s.stopped = sn.stopped
+}
+
+func (st *supState) Release(snap any) {
+	sn := snap.(*supSnap)
+	for i := range sn.threads {
+		sn.threads[i] = nil
+	}
+	st.pool = append(st.pool, sn)
+}

@@ -109,6 +109,17 @@ type Rank struct {
 	failed    bool
 	failAbort func()
 
+	// Commit-deferred completion accounting. The job-wide counters are
+	// cross-shard atomics, so under the optimistic core they move only when
+	// the terminating event commits: doneAt/failLost/failMidColl stage the
+	// facts on the rank (rewound with it on rollback), and
+	// commitDone/commitFail are the pre-bound commit actions.
+	doneAt      sim.Time
+	failLost    bool
+	failMidColl bool
+	commitDone  func()
+	commitFail  func()
+
 	collSeq int
 	done    bool
 }
@@ -144,6 +155,8 @@ func (r *Rank) bindHotPaths() {
 		r.Recv(r.srPeer, r.srTag, then)
 	}
 	r.failAbort = func() { r.fail(false) }
+	r.commitDone = func() { r.job.commitRankDone(r) }
+	r.commitFail = func() { r.job.commitRankFail(r) }
 }
 
 // trySend pushes one logical message (identity idx) through the fault
@@ -152,29 +165,36 @@ func (r *Rank) bindHotPaths() {
 // drop when the budget is zero) is a fatal loss that aborts the whole job
 // after the detection latency. Only called when a fault model is installed.
 func (r *Rank) trySend(target *Rank, bytes int, idx uint64, deliver func()) {
+	r.sendAttempt(target, bytes, idx, 0, deliver)
+}
+
+// sendAttempt is one attempt of the retransmit chain. The attempt number
+// rides the recursion as a parameter rather than a closure-mutable counter:
+// under the optimistic core a rolled-back attempt re-executes, and a shared
+// counter would have advanced past it. Each retransmit allocates one small
+// continuation, which is fine — this path runs only under fault injection,
+// and only for dropped attempts.
+func (r *Rank) sendAttempt(target *Rank, bytes int, idx, attempt uint64, deliver func()) {
 	j := r.job
 	eng := r.node.Engine()
-	attempt := uint64(0)
-	var attemptFn func()
-	attemptFn = func() {
-		if r.failed {
-			return // the rank died while backing off
-		}
-		if !j.faults.DropMessage(eng.Now(), r.node.ID(), target.node.ID(), r.id, idx, attempt) {
-			j.fabric.Send(r.node.ID(), target.node.ID(), bytes, deliver)
-			return
-		}
-		j.fabric.Drop(r.node.ID(), target.node.ID(), bytes)
-		r.dropped++
-		if attempt >= uint64(j.cfg.SendRetries) {
-			j.abortFrom(eng)
-			return
-		}
-		attempt++
-		r.retries++
-		eng.After(j.cfg.SendTimeout<<(attempt-1), "mpi-retransmit", attemptFn)
+	if r.failed {
+		return // the rank died while backing off
 	}
-	attemptFn()
+	if !j.faults.DropMessage(eng.Now(), r.node.ID(), target.node.ID(), r.id, idx, attempt) {
+		j.fabric.Send(r.node.ID(), target.node.ID(), bytes, deliver)
+		return
+	}
+	j.fabric.Drop(r.node.ID(), target.node.ID(), bytes)
+	r.dropped++
+	if attempt >= uint64(j.cfg.SendRetries) {
+		j.abortFrom(eng)
+		return
+	}
+	r.retries++
+	next := attempt + 1
+	eng.After(j.cfg.SendTimeout<<attempt, "mpi-retransmit", func() {
+		r.sendAttempt(target, bytes, idx, next, deliver)
+	})
 }
 
 // fail terminates the rank abruptly: crash victim (lost=true) or collective
@@ -187,18 +207,14 @@ func (r *Rank) fail(lost bool) {
 	}
 	r.done = true
 	r.failed = true
-	j := r.job
-	j.failed.Add(1)
-	if lost {
-		j.lostRanks.Add(1)
-	} else {
-		j.abortedRanks.Add(1)
-	}
-	if r.coll.then != nil || r.coll.bThen != nil {
-		// Mid-collective: peers were counting on this rank's messages.
-		j.collAborted.Add(1)
-		r.coll.then, r.coll.bThen = nil, nil
-	}
+	r.failLost = lost
+	// Mid-collective: peers were counting on this rank's messages.
+	r.failMidColl = r.coll.then != nil || r.coll.bThen != nil
+	r.coll.then, r.coll.bThen = nil, nil
+	// The job-wide failure counters are cross-shard atomics; they move when
+	// this event commits (immediately on serial and conservative cores), so
+	// a rolled-back failure leaves no trace in them.
+	r.node.Engine().DeferToCommit(r.commitFail)
 	r.recvArmed = false
 	r.recvThen = nil
 	r.sendThen = nil
@@ -209,7 +225,7 @@ func (r *Rank) fail(lost bool) {
 	if r.thread.State() != kernel.StateExited {
 		r.thread.Kill()
 	}
-	j.rankDone(r)
+	r.job.rankDone(r)
 }
 
 // Failed reports whether the rank was terminated by a fault or abort.

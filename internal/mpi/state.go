@@ -1,0 +1,168 @@
+package mpi
+
+import (
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/sim"
+)
+
+// Optimistic-core checkpointing. A rank's library state — early-arrival
+// lists, the staged point-to-point arguments, the collective state machine's
+// round variables, fault counters — mutates on every message, so the Time
+// Warp core must rewind it with the owning node's shard. The layer is per
+// node: it snapshots every rank placed on that node, keeping each rank's
+// state strictly on the shard that executes its events.
+//
+// Job-wide accounting (the finished/lastDone/failed/... atomics) is
+// deliberately NOT snapshot here: those counters are shared across shards,
+// so rank.go routes their updates through Engine.DeferToCommit instead — a
+// rolled-back completion or failure never reaches them.
+//
+// The collective state machine's bound continuations (collState.ar*/b*) are
+// not saved either: binding happens once on first use, and the closures are
+// pure functions of the stable rank pointer, so a rollback across the first
+// binding just leaves equivalent closures in place for the re-execution.
+
+// rankSnap is one rank's mutable state at snapshot time. pending and
+// deliveryPool entries are value/pointer copies into reused backing arrays;
+// vector payloads are immutable once sent, so sharing them is safe.
+type rankSnap struct {
+	pending    []arrival
+	vecPending []vecArrival
+
+	recvArmed bool
+	recvKey   msgKey
+	recvGot   message
+	recvThen  func(float64)
+
+	sendDst   int
+	sendTag   int
+	sendValue float64
+	sendBytes int
+	sendThen  func()
+
+	srPeer int
+	srTag  int
+	srThen func(float64)
+
+	collBase, collK, collBytes int
+	collP2, collRem, collEff   int
+	collAcc, collV             float64
+	collThen                   func(float64)
+	collBN                     int
+	collBThen                  func()
+
+	deliveryPool []*delivery
+	p2pSends     uint64
+	dropped      uint64
+	retries      uint64
+	failed       bool
+	failLost     bool
+	failMidColl  bool
+	doneAt       sim.Time
+	collSeq      int
+	done         bool
+}
+
+// jobSnap is one pooled checkpoint of a node's ranks.
+type jobSnap struct {
+	ranks []rankSnap
+}
+
+type jobState struct {
+	ranks []*Rank
+	pool  []*jobSnap
+}
+
+// StateForNode returns a checkpointable view of every rank placed on node n,
+// for registration with the engine of the shard that owns the node. Must be
+// called after Launch: rank pointers are stable only once the array is
+// frozen.
+func (j *Job) StateForNode(n *kernel.Node) sim.ShardState {
+	if !j.launched {
+		panic("mpi: StateForNode before Launch")
+	}
+	st := &jobState{}
+	for i := range j.ranks {
+		if j.ranks[i].node == n {
+			st.ranks = append(st.ranks, &j.ranks[i])
+		}
+	}
+	return st
+}
+
+func saveRank(s *rankSnap, r *Rank) {
+	s.pending = append(s.pending[:0], r.pending...)
+	s.vecPending = append(s.vecPending[:0], r.vecPending...)
+	s.recvArmed, s.recvKey, s.recvGot, s.recvThen = r.recvArmed, r.recvKey, r.recvGot, r.recvThen
+	s.sendDst, s.sendTag, s.sendThen = r.sendDst, r.sendTag, r.sendThen
+	s.sendValue, s.sendBytes = r.sendValue, r.sendBytes
+	s.srPeer, s.srTag, s.srThen = r.srPeer, r.srTag, r.srThen
+	c := &r.coll
+	s.collBase, s.collK, s.collBytes = c.base, c.k, c.bytes
+	s.collP2, s.collRem, s.collEff = c.p2, c.rem, c.eff
+	s.collAcc, s.collV, s.collThen = c.acc, c.v, c.then
+	s.collBN, s.collBThen = c.bn, c.bThen
+	s.deliveryPool = append(s.deliveryPool[:0], r.deliveryPool...)
+	s.p2pSends, s.dropped, s.retries = r.p2pSends, r.dropped, r.retries
+	s.failed, s.failLost, s.failMidColl = r.failed, r.failLost, r.failMidColl
+	s.doneAt, s.collSeq, s.done = r.doneAt, r.collSeq, r.done
+}
+
+func restoreRank(r *Rank, s *rankSnap) {
+	r.pending = append(r.pending[:0], s.pending...)
+	r.vecPending = append(r.vecPending[:0], s.vecPending...)
+	r.recvArmed, r.recvKey, r.recvGot, r.recvThen = s.recvArmed, s.recvKey, s.recvGot, s.recvThen
+	r.sendDst, r.sendTag, r.sendThen = s.sendDst, s.sendTag, s.sendThen
+	r.sendValue, r.sendBytes = s.sendValue, s.sendBytes
+	r.srPeer, r.srTag, r.srThen = s.srPeer, s.srTag, s.srThen
+	c := &r.coll
+	c.base, c.k, c.bytes = s.collBase, s.collK, s.collBytes
+	c.p2, c.rem, c.eff = s.collP2, s.collRem, s.collEff
+	c.acc, c.v, c.then = s.collAcc, s.collV, s.collThen
+	c.bn, c.bThen = s.collBN, s.collBThen
+	r.deliveryPool = append(r.deliveryPool[:0], s.deliveryPool...)
+	r.p2pSends, r.dropped, r.retries = s.p2pSends, s.dropped, s.retries
+	r.failed, r.failLost, r.failMidColl = s.failed, s.failLost, s.failMidColl
+	r.doneAt, r.collSeq, r.done = s.doneAt, s.collSeq, s.done
+}
+
+func (st *jobState) Save() any {
+	var sn *jobSnap
+	if k := len(st.pool); k > 0 {
+		sn = st.pool[k-1]
+		st.pool[k-1] = nil
+		st.pool = st.pool[:k-1]
+	} else {
+		sn = &jobSnap{ranks: make([]rankSnap, len(st.ranks))}
+	}
+	for i, r := range st.ranks {
+		saveRank(&sn.ranks[i], r)
+	}
+	return sn
+}
+
+func (st *jobState) Restore(snap any) {
+	sn := snap.(*jobSnap)
+	for i, r := range st.ranks {
+		restoreRank(r, &sn.ranks[i])
+	}
+}
+
+func (st *jobState) Release(snap any) {
+	sn := snap.(*jobSnap)
+	for i := range sn.ranks {
+		s := &sn.ranks[i]
+		s.recvThen, s.sendThen, s.srThen = nil, nil, nil
+		s.collThen, s.collBThen = nil, nil
+		s.pending = s.pending[:0]
+		for k := range s.vecPending {
+			s.vecPending[k] = vecArrival{}
+		}
+		s.vecPending = s.vecPending[:0]
+		for k := range s.deliveryPool {
+			s.deliveryPool[k] = nil
+		}
+		s.deliveryPool = s.deliveryPool[:0]
+	}
+	st.pool = append(st.pool, sn)
+}

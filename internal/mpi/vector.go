@@ -97,14 +97,18 @@ func (r *Rank) AllreduceVec(vec []float64, then func(sums []float64)) {
 }
 
 // rdAllreduceVec is recursive doubling over whole vectors, with the usual
-// non-power-of-two fold.
+// non-power-of-two fold. Each combine builds a fresh accumulator instead of
+// adding in place: under the optimistic core a rolled-back round re-executes,
+// and an in-place += on a closure-shared vector would double-count. With the
+// working vector riding the recursion as a parameter, every continuation is
+// a pure function of its inputs and re-execution is harmless.
 func (r *Rank) rdAllreduceVec(acc []float64, then func([]float64)) {
 	n := r.Size()
 	base := r.nextTagBase()
 	p2 := floorPow2(n)
 	rem := n - p2
 
-	finish := func() {
+	finish := func(acc []float64) {
 		if r.id < 2*rem {
 			if r.id%2 == 0 {
 				r.recvVec(r.id+1, base+tagFinal, func(v []float64) { then(v) })
@@ -116,18 +120,20 @@ func (r *Rank) rdAllreduceVec(acc []float64, then func([]float64)) {
 		then(acc)
 	}
 
-	var rounds func(k, eff int)
-	rounds = func(k, eff int) {
+	var rounds func(k, eff int, acc []float64)
+	rounds = func(k, eff int, acc []float64) {
 		if 1<<k >= p2 {
-			finish()
+			finish(acc)
 			return
 		}
 		peer := realRank(eff^(1<<k), rem)
 		r.sendVec(peer, base+tagRound0+k, acc, func() {
 			r.recvVec(peer, base+tagRound0+k, func(v []float64) {
 				r.thread.Run(r.reduceCostFor(len(acc)), func() {
-					vecAdd(acc, v)
-					rounds(k+1, eff)
+					sum := make([]float64, len(acc))
+					copy(sum, acc)
+					vecAdd(sum, v)
+					rounds(k+1, eff, sum)
 				})
 			})
 		})
@@ -135,18 +141,20 @@ func (r *Rank) rdAllreduceVec(acc []float64, then func([]float64)) {
 
 	if r.id < 2*rem {
 		if r.id%2 == 0 {
-			r.sendVec(r.id+1, base+tagFold, acc, finish)
+			r.sendVec(r.id+1, base+tagFold, acc, func() { finish(acc) })
 			return
 		}
 		r.recvVec(r.id-1, base+tagFold, func(v []float64) {
 			r.thread.Run(r.reduceCostFor(len(acc)), func() {
-				vecAdd(acc, v)
-				rounds(0, effRank(r.id, rem))
+				sum := make([]float64, len(acc))
+				copy(sum, acc)
+				vecAdd(sum, v)
+				rounds(0, effRank(r.id, rem), sum)
 			})
 		})
 		return
 	}
-	rounds(0, effRank(r.id, rem))
+	rounds(0, effRank(r.id, rem), acc)
 }
 
 // rabenseifnerAllreduceVec implements the long-vector algorithm for
@@ -156,18 +164,25 @@ func (r *Rank) rdAllreduceVec(acc []float64, then func([]float64)) {
 func (r *Rank) rabenseifnerAllreduceVec(acc []float64, then func([]float64)) {
 	n := r.Size()
 	base := r.nextTagBase()
-	// Span [lo, hi) of elements this rank still owns in the reduce-scatter.
-	lo, hi := 0, len(acc)
 
-	var gather func(k int, glo, ghi int)
-	var scatter func(k int)
+	nRounds := 0
+	for 1<<nRounds < n {
+		nRounds++
+	}
 
-	scatter = func(k int) {
+	var gather func(k, glo, ghi int, cur []float64)
+	var scatter func(k, lo, hi int, cur []float64)
+
+	// The owned span [lo, hi) and the working vector ride the recursion as
+	// parameters, and each combine builds a fresh vector — see rdAllreduceVec
+	// on why closure-mutable spans and in-place accumulation cannot survive
+	// optimistic re-execution.
+	scatter = func(k, lo, hi int, cur []float64) {
 		bit := n >> (k + 1) // partner distance halves each round
 		if bit == 0 {
 			// Reduce-scatter done: this rank holds the global sums for
 			// [lo, hi). Gather rounds mirror the scatter in reverse.
-			gather(0, lo, hi)
+			gather(0, lo, hi, cur)
 			return
 		}
 		peer := r.id ^ bit
@@ -178,24 +193,21 @@ func (r *Rank) rabenseifnerAllreduceVec(acc []float64, then func([]float64)) {
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		r.sendVec(peer, base+tagRound0+k, acc[sendLo:sendHi], func() {
+		r.sendVec(peer, base+tagRound0+k, cur[sendLo:sendHi], func() {
 			r.recvVec(peer, base+tagRound0+k, func(v []float64) {
 				r.thread.Run(r.reduceCostFor(len(v)), func() {
-					vecAdd(acc[keepLo:keepHi], v)
-					lo, hi = keepLo, keepHi
-					scatter(k + 1)
+					next := make([]float64, len(cur))
+					copy(next, cur)
+					vecAdd(next[keepLo:keepHi], v)
+					scatter(k+1, keepLo, keepHi, next)
 				})
 			})
 		})
 	}
 
-	rounds := 0
-	for 1<<rounds < n {
-		rounds++
-	}
-	gather = func(k int, glo, ghi int) {
-		if k == rounds {
-			then(acc)
+	gather = func(k, glo, ghi int, cur []float64) {
+		if k == nRounds {
+			then(cur)
 			return
 		}
 		bit := 1 << k
@@ -208,16 +220,18 @@ func (r *Rank) rabenseifnerAllreduceVec(acc []float64, then func([]float64)) {
 		} else {
 			peerLo = glo - span
 		}
-		r.sendVec(peer, base+32+k, acc[glo:ghi], func() {
+		r.sendVec(peer, base+32+k, cur[glo:ghi], func() {
 			r.recvVec(peer, base+32+k, func(v []float64) {
-				copy(acc[peerLo:peerLo+len(v)], v)
+				next := make([]float64, len(cur))
+				copy(next, cur)
+				copy(next[peerLo:peerLo+len(v)], v)
 				nlo := glo
 				if peerLo < glo {
 					nlo = peerLo
 				}
-				gather(k+1, nlo, nlo+2*span)
+				gather(k+1, nlo, nlo+2*span, next)
 			})
 		})
 	}
-	scatter(0)
+	scatter(0, 0, len(acc), acc)
 }

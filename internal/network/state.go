@@ -1,0 +1,70 @@
+package network
+
+import "coschedsim/internal/sim"
+
+// Optimistic-core checkpointing. A fabric in sharded mode keeps per-source-
+// node counters (shardStat) and per-pair jitter indices (jitterIdx rows), and
+// each row is only ever written by the shard that owns the source node — so a
+// per-shard ShardState over the owned rows makes fabric accounting exactly
+// rewindable under Time Warp rollback.
+
+// fabricSnap is one pooled checkpoint of a shard's fabric rows.
+type fabricSnap struct {
+	stats  []Stats
+	jitter [][]uint64 // nil unless the fabric draws jitter
+}
+
+// fabricState implements sim.ShardState for the fabric rows owned by one
+// shard's source nodes.
+type fabricState struct {
+	f     *Fabric
+	nodes []int
+	pool  []*fabricSnap
+}
+
+// ShardStateFor returns a checkpointable view of the fabric counters owned
+// by the given source nodes. Register it with the shard engine that executes
+// those nodes' sends; the fabric must already be in sharded mode
+// (BindNodeEngines).
+func (f *Fabric) ShardStateFor(nodes []int) sim.ShardState {
+	if f.engines == nil {
+		panic("network: ShardStateFor before BindNodeEngines")
+	}
+	return &fabricState{f: f, nodes: append([]int(nil), nodes...)}
+}
+
+func (s *fabricState) Save() any {
+	var sn *fabricSnap
+	if n := len(s.pool); n > 0 {
+		sn = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+	} else {
+		sn = &fabricSnap{stats: make([]Stats, len(s.nodes))}
+		if s.f.jitterIdx != nil {
+			sn.jitter = make([][]uint64, len(s.nodes))
+		}
+	}
+	for i, n := range s.nodes {
+		sn.stats[i] = s.f.shardStat[n]
+		if sn.jitter != nil {
+			sn.jitter[i] = append(sn.jitter[i][:0], s.f.jitterIdx[n]...)
+		}
+	}
+	return sn
+}
+
+func (s *fabricState) Restore(snap any) {
+	sn := snap.(*fabricSnap)
+	for i, n := range s.nodes {
+		s.f.shardStat[n] = sn.stats[i]
+		if sn.jitter != nil {
+			// Rows are pre-sized at bind time, so copy-in-place suffices.
+			copy(s.f.jitterIdx[n], sn.jitter[i])
+		}
+	}
+}
+
+func (s *fabricState) Release(snap any) {
+	s.pool = append(s.pool, snap.(*fabricSnap))
+}

@@ -154,6 +154,12 @@ type Set struct {
 	specs   []DaemonSpec
 	daemons []*kernel.Thread
 	gens    []int
+
+	// Mutable random-stream and interrupt-source state, held on the Set (not
+	// in closures) so the optimistic core's ShardState can rewind draw
+	// counters and batch cursors on rollback.
+	rngs []*sim.CounterRand
+	irqs []*irqSource
 }
 
 // Attach launches the configured daemons, cron job and interrupt sources on
@@ -200,12 +206,13 @@ func (s *Set) launchDaemon(spec DaemonSpec, idx, gen, homeCPU int) *kernel.Threa
 	// (gen > 0) get their own stream so a restart never replays or shifts
 	// the original sequence; gen 0 keeps the historical key so fault-free
 	// runs stay bit-identical.
-	var rng sim.CounterRand
+	rng := new(sim.CounterRand)
 	if gen == 0 {
-		rng = s.node.Engine().CounterRand("noise-daemon", uint64(s.node.ID()), uint64(idx))
+		*rng = s.node.Engine().CounterRand("noise-daemon", uint64(s.node.ID()), uint64(idx))
 	} else {
-		rng = s.node.Engine().CounterRand("noise-daemon-r", uint64(s.node.ID()), uint64(idx), uint64(gen))
+		*rng = s.node.Engine().CounterRand("noise-daemon-r", uint64(s.node.ID()), uint64(idx), uint64(gen))
 	}
+	s.rngs = append(s.rngs, rng)
 	var cycle func()
 	cycle = func() {
 		if s.stopped {
@@ -337,6 +344,7 @@ func (s *Set) launchInterrupts(spec InterruptSpec, idx, batch int) {
 	eng := s.node.Engine()
 	src := &irqSource{set: s, spec: spec, batch: batch,
 		rng: eng.CounterRand("noise-irq", uint64(s.node.ID()), uint64(idx))}
+	s.irqs = append(s.irqs, src)
 	if batch > 1 {
 		src.refill()
 	}

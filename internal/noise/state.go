@@ -1,0 +1,107 @@
+package noise
+
+import (
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/sim"
+)
+
+// Optimistic-core checkpointing. A Set's mutable state is small but subtle:
+// every daemon's jitter stream advances a draw counter per activation, the
+// interrupt sources keep batch cursors, and fault respawns append new
+// incarnations. Rollback must rewind all of it or re-executed history would
+// sample shifted random sequences.
+
+// irqSnap is one interrupt source's cursor state. The batch contents are
+// copied too: a rollback across a refill boundary must restore the batch the
+// cursor indexes into, not just the cursor.
+type irqSnap struct {
+	rng  sim.CounterRand
+	idx  int
+	gaps []sim.Time
+	cpus []int
+}
+
+// setSnap is one pooled checkpoint of a Set.
+type setSnap struct {
+	threadsLen  int
+	cronFirings int
+	stopped     bool
+	daemons     []*kernel.Thread
+	gens        []int
+	rngs        []sim.CounterRand
+	irqs        []irqSnap
+}
+
+type setState struct {
+	s    *Set
+	pool []*setSnap
+}
+
+// ShardState returns a checkpointable view of the noise set for the
+// optimistic core.
+func (s *Set) ShardState() sim.ShardState { return &setState{s: s} }
+
+func (st *setState) Save() any {
+	var sn *setSnap
+	if k := len(st.pool); k > 0 {
+		sn = st.pool[k-1]
+		st.pool[k-1] = nil
+		st.pool = st.pool[:k-1]
+	} else {
+		sn = &setSnap{}
+	}
+	s := st.s
+	sn.threadsLen = len(s.threads)
+	sn.cronFirings, sn.stopped = s.CronFirings, s.stopped
+	sn.daemons = append(sn.daemons[:0], s.daemons...)
+	sn.gens = append(sn.gens[:0], s.gens...)
+	sn.rngs = sn.rngs[:0]
+	for _, r := range s.rngs {
+		sn.rngs = append(sn.rngs, *r)
+	}
+	if cap(sn.irqs) < len(s.irqs) {
+		sn.irqs = make([]irqSnap, len(s.irqs))
+	}
+	sn.irqs = sn.irqs[:len(s.irqs)]
+	for i, q := range s.irqs {
+		is := &sn.irqs[i]
+		is.rng, is.idx = q.rng, q.idx
+		is.gaps = append(is.gaps[:0], q.gaps...)
+		is.cpus = append(is.cpus[:0], q.cpus...)
+	}
+	return sn
+}
+
+func (st *setState) Restore(snap any) {
+	sn := snap.(*setSnap)
+	s := st.s
+	for i := sn.threadsLen; i < len(s.threads); i++ {
+		s.threads[i] = nil
+	}
+	s.threads = s.threads[:sn.threadsLen]
+	s.CronFirings, s.stopped = sn.cronFirings, sn.stopped
+	copy(s.daemons, sn.daemons)
+	copy(s.gens, sn.gens)
+	// Streams appended by rolled-back respawns are dropped; survivors rewind.
+	for i := len(sn.rngs); i < len(s.rngs); i++ {
+		s.rngs[i] = nil
+	}
+	s.rngs = s.rngs[:len(sn.rngs)]
+	for i := range sn.rngs {
+		*s.rngs[i] = sn.rngs[i]
+	}
+	for i, q := range s.irqs {
+		is := &sn.irqs[i]
+		q.rng, q.idx = is.rng, is.idx
+		q.gaps = append(q.gaps[:0], is.gaps...)
+		q.cpus = append(q.cpus[:0], is.cpus...)
+	}
+}
+
+func (st *setState) Release(snap any) {
+	sn := snap.(*setSnap)
+	for i := range sn.daemons {
+		sn.daemons[i] = nil
+	}
+	st.pool = append(st.pool, sn)
+}

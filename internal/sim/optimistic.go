@@ -1,0 +1,899 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Optimistic (Time Warp) parallel core.
+//
+// The conservative ShardGroup may only execute events inside a global window
+// of one lookahead L, because an event at T could schedule onto another
+// shard at T+L. The OptimisticGroup speculates past that wall: each shard
+// executes up to window·L ahead of the global floor, recording enough
+// information to undo itself, and a serial barrier afterwards commits the
+// prefix of history that can no longer be invalidated (the GVT fixpoint)
+// and rolls back any shard that received a message from its past.
+//
+// Mechanics per shard:
+//
+//   - Execution is divided into segments of at most L of simulated time.
+//     Opening a segment snapshots every registered ShardState layer (pooled
+//     records) and notes the engine clock; executing events appends undo
+//     operations (see undoOp) and parks fired/canceled Event records on the
+//     segment instead of recycling them.
+//   - Cross-shard ScheduleOn calls are staged on the segment. They are
+//     released to the destination only when the segment commits; discarding
+//     a rolled-back segment's staged sends is the anti-message — because
+//     messages are only ever sent from committed history, a rollback can
+//     never cascade across shards.
+//   - The barrier repeatedly computes the floor G = min over shards of
+//     (oldest uncommitted segment start, else next pending event time) and
+//     commits every segment whose start equals G: any message still unsent
+//     originates at or after G and so arrives at or after G+L, strictly
+//     past the committed segment's last event. Committing releases the
+//     segment's sends, runs its DeferToCommit actions, recycles its parked
+//     Event records, returns its snapshots to their pools (fossil
+//     collection) and flushes committed-only side channels (ShardCommitter).
+//   - Released sends are merged into each destination in (when, source
+//     shard, staging order) order, exactly like the conservative core's
+//     barrier merge. A destination whose speculated history extends past
+//     the earliest delivery rolls back: state is restored from the oldest
+//     invalidated segment's snapshots, and the undo log is walked backwards
+//     to revive every event at its original (when, seq) queue position, so
+//     re-executed history breaks same-time ties exactly as before.
+//
+// Determinism: every speculation horizon derives from the committed floor
+// and the (deterministically adapted) window; shards never consult wall
+// clock or each other mid-round; stops requested by speculative events take
+// effect only on commit. The whole trajectory — segments, commits,
+// rollbacks — is therefore a pure function of the simulation, independent
+// of worker count, and the committed history is byte-identical to the
+// serial engine's.
+
+// ShardState is a checkpointable layer of model state owned by one
+// optimistic shard. Save returns a snapshot of the layer's current mutable
+// state; Restore rewinds the layer to a snapshot (without consuming it);
+// Release returns a snapshot to the layer's pool. Save/Restore run on the
+// shard's worker during speculation and on the coordinator during barriers;
+// they never run concurrently for the same shard.
+//
+// Layers should pool their snapshot records: steady-state speculation is
+// expected to allocate nothing.
+type ShardState interface {
+	Save() any
+	Restore(snap any)
+	Release(snap any)
+}
+
+// ShardCommitter is an optional extension of ShardState for layers with an
+// append-only committed side channel (trace rings, transition logs).
+// CommitUpTo(t) is called at barriers with the guarantee that no event
+// before t can roll back: the layer should flush its buffered records with
+// time < t to the externally visible sink.
+type ShardCommitter interface {
+	CommitUpTo(t Time)
+}
+
+// StopValidator is consulted when a stop request surfaces at a barrier,
+// after every uncommitted segment has been rolled back. Returning false
+// vetoes the stop (the request is dropped; if the stopping condition was
+// real it will re-commit and re-request). A nil validator accepts all
+// stops. Cluster integration uses this to re-check job completion against
+// committed state only.
+type StopValidator func() bool
+
+// Undo operation kinds. Each records how to reverse one engine mutation;
+// rollback walks a segment's log newest-first.
+const (
+	// undoSchedule reverses At/Recur: kill the entry, recycle the record.
+	undoSchedule uint8 = iota
+	// undoCancel reverses a (deferred-recycle) Cancel: revive the event at
+	// its original (when, seq).
+	undoCancel
+	// undoResched reverses Reschedule: kill the moved entry, revive at the
+	// original (when, seq).
+	undoResched
+	// undoFire reverses a non-recurring fire: un-fire and revive.
+	undoFire
+	// undoRecurStop reverses a recurring fire whose callback returned
+	// RecurStop: un-fire and revive.
+	undoRecurStop
+	// undoRecurRearm reverses a recurring fire that re-armed: kill the
+	// re-armed entry, un-fire, revive at the original (when, seq).
+	undoRecurRearm
+)
+
+// undoOp is one recorded engine mutation. when0/seq0 are the event's queue
+// position before the mutation, for kinds that revive it there.
+type undoOp struct {
+	kind  uint8
+	ev    *Event
+	when0 Time
+	seq0  uint64
+}
+
+// ocross is one staged cross-shard send, released on commit.
+type ocross struct {
+	dst   int
+	when  Time
+	label string
+	fn    func()
+}
+
+// oseg is one speculation segment: up to lookahead of one shard's executed
+// history, with everything needed to commit or undo it. Records are pooled
+// per shard; slices keep their capacity across reuse.
+type oseg struct {
+	start    Time // first executed event's time
+	lastWhen Time // latest executed event's time
+	savedNow Time // engine clock when the segment opened
+	events   int
+	lite     bool // conservative round: no snapshots or undo log, sends only
+	undo     []undoOp
+	sends    []ocross
+	deferred []func()
+	freed    []*Event // fired/canceled records, recycled on commit only
+	snaps    []any    // one per registered layer, parallel to oShard.layers
+}
+
+// OptStats counts the optimistic machinery. All fields except
+// BarrierStallNs are deterministic for a given simulation.
+type OptStats struct {
+	// Rounds is the number of speculate-then-barrier rounds executed.
+	Rounds uint64
+	// GVTWaves counts barrier fixpoint iterations (GVT recomputations).
+	GVTWaves uint64
+	// CommittedEvents is the number of events committed — the events a
+	// serial run would have fired.
+	CommittedEvents uint64
+	// SpeculatedEvents counts events executed speculatively, including any
+	// later rolled back.
+	SpeculatedEvents uint64
+	// Rollbacks counts rollback episodes (one per shard per delivery batch
+	// that invalidated speculated history).
+	Rollbacks uint64
+	// RolledBackEvents counts events undone by rollbacks.
+	RolledBackEvents uint64
+	// AntiMessages counts staged cross-shard sends discarded because their
+	// segment rolled back — messages a pessimistic Time Warp would have had
+	// to chase with explicit anti-messages.
+	AntiMessages uint64
+	// CrossShardEvents counts sends released to other shards at commit.
+	CrossShardEvents uint64
+	// Window is the current optimism window, in lookaheads (adaptive).
+	Window int
+	// BarrierStallNs is wall-clock time speculation participants spent
+	// waiting for the slowest shard of their round; diagnostic only.
+	BarrierStallNs int64
+}
+
+// oShard is the per-shard optimistic state riding on an Engine.
+type oShard struct {
+	g    *OptimisticGroup
+	e    *Engine
+	idx  int
+	rec  bool // recording: set only while speculating
+	lite bool // conservative (window-1) round in flight: stage sends only
+
+	cur  *oseg   // open segment (last of segs), nil between segments
+	segs []*oseg // uncommitted segments, oldest first
+
+	layers     []ShardState
+	committers []ShardCommitter
+
+	segPool []*oseg
+
+	// Per-round counters, accumulated into group stats at barriers.
+	specEvents int
+}
+
+func (o *oShard) addState(s ShardState) {
+	o.layers = append(o.layers, s)
+	if c, ok := s.(ShardCommitter); ok {
+		o.committers = append(o.committers, c)
+	}
+	if o.cur != nil || len(o.segs) > 0 {
+		panic("sim: AddShardState with uncommitted speculation in flight")
+	}
+}
+
+// record appends an undo operation to the open segment.
+func (o *oShard) record(kind uint8, ev *Event, when0 Time, seq0 uint64) {
+	s := o.cur
+	s.undo = append(s.undo, undoOp{kind: kind, ev: ev, when0: when0, seq0: seq0})
+}
+
+// open starts a new segment at the first event time `start`, snapshotting
+// every registered layer.
+func (o *oShard) open(start Time) {
+	var s *oseg
+	if n := len(o.segPool); n > 0 {
+		s = o.segPool[n-1]
+		o.segPool[n-1] = nil
+		o.segPool = o.segPool[:n-1]
+	} else {
+		s = &oseg{}
+	}
+	s.start = start
+	s.lastWhen = start
+	s.savedNow = o.e.now
+	s.events = 0
+	s.lite = false
+	for _, l := range o.layers {
+		s.snaps = append(s.snaps, l.Save())
+	}
+	o.segs = append(o.segs, s)
+	o.cur = s
+}
+
+// openLite starts a conservative round's single segment: no snapshots, no
+// undo log — it exists only to stage cross-shard sends for the barrier
+// merge and to carry the committer flush bound.
+func (o *oShard) openLite(start Time) {
+	var s *oseg
+	if n := len(o.segPool); n > 0 {
+		s = o.segPool[n-1]
+		o.segPool[n-1] = nil
+		o.segPool = o.segPool[:n-1]
+	} else {
+		s = &oseg{}
+	}
+	s.start = start
+	s.lastWhen = start
+	s.savedNow = o.e.now
+	s.events = 0
+	s.lite = true
+	o.segs = append(o.segs, s)
+	o.cur = s
+}
+
+// releaseSeg clears a segment and returns it to the pool. Snapshots must
+// already have been released or restored by the caller.
+func (o *oShard) releaseSeg(s *oseg) {
+	for i := range s.undo {
+		s.undo[i].ev = nil
+	}
+	s.undo = s.undo[:0]
+	for i := range s.sends {
+		s.sends[i].fn = nil
+	}
+	s.sends = s.sends[:0]
+	for i := range s.deferred {
+		s.deferred[i] = nil
+	}
+	s.deferred = s.deferred[:0]
+	for i := range s.freed {
+		s.freed[i] = nil
+	}
+	s.freed = s.freed[:0]
+	s.snaps = s.snaps[:0]
+	o.segPool = append(o.segPool, s)
+}
+
+// speculate executes pending events with when < horizon, segmenting and
+// recording as it goes. It runs on a worker goroutine; it touches only this
+// shard's engine and segments.
+func (o *oShard) speculate(horizon Time) {
+	if o.g.window == 1 && len(o.segs) == 0 {
+		o.runLite(horizon)
+		return
+	}
+	e := o.e
+	L := o.g.lookahead
+	o.rec = true
+	n := 0
+	for {
+		when, ok := e.peekNext()
+		if !ok || when >= horizon {
+			break
+		}
+		if o.cur == nil || when >= o.cur.start+L {
+			o.open(when)
+		}
+		e.Step()
+		o.cur.lastWhen = e.now
+		o.cur.events++
+		n++
+	}
+	o.rec = false
+	o.specEvents += n
+}
+
+// runLite is the window-1 round body: with horizon = G + L, every event
+// fired lies strictly below every delivery any shard can still produce
+// (sends originate at or after G, so they arrive at or after G+L), which
+// makes rollback impossible. Events therefore run on the engine's plain
+// serial path — no snapshots, no undo log, no parked records — and the only
+// bookkeeping is a lite segment staging cross-shard sends for the barrier
+// merge. This is what the adaptive throttle degrades to: a pathological mix
+// pays roughly the conservative sharded core's cost, not Time Warp's.
+func (o *oShard) runLite(horizon Time) {
+	e := o.e
+	o.lite = true
+	n := 0
+	for {
+		when, ok := e.peekNext()
+		if !ok || when >= horizon {
+			break
+		}
+		if o.cur == nil {
+			o.openLite(when)
+		}
+		e.Step()
+		o.cur.lastWhen = e.now
+		o.cur.events++
+		n++
+	}
+	o.lite = false
+	o.specEvents += n
+}
+
+// floor is the earliest simulated time this shard could still affect:
+// its oldest uncommitted segment's start, else its next pending event.
+func (o *oShard) floor() (Time, bool) {
+	if len(o.segs) > 0 {
+		return o.segs[0].start, true
+	}
+	return o.e.peekNext()
+}
+
+// rollbackTo undoes every segment whose history extends strictly past t.
+// State is restored from the oldest invalidated segment's snapshots; the
+// undo logs are walked newest-first to rebuild the event queue.
+func (o *oShard) rollbackTo(t Time) {
+	i := len(o.segs)
+	for i > 0 && o.segs[i-1].lastWhen > t {
+		i--
+	}
+	if i == len(o.segs) {
+		return
+	}
+	rolled := o.segs[i:]
+	g := o.g
+	e := o.e
+	for k := len(rolled) - 1; k >= 0; k-- {
+		s := rolled[k]
+		if s.lite {
+			// Lite segments carry no undo state because no delivery can reach
+			// below G+L; a rollback touching one means that invariant broke.
+			panic("sim: rollback reached a conservative (lite) segment")
+		}
+		o.undoSeg(s)
+		g.stats.RolledBackEvents += uint64(s.events)
+		g.stats.AntiMessages += uint64(len(s.sends))
+	}
+	// Restore layer state from the oldest invalidated segment, then release
+	// every snapshot (the newer segments' snapshots are pure fossils).
+	oldest := rolled[0]
+	for li, l := range o.layers {
+		l.Restore(oldest.snaps[li])
+	}
+	for k := range rolled {
+		s := rolled[k]
+		for li, l := range o.layers {
+			l.Release(s.snaps[li])
+		}
+		o.releaseSeg(s)
+		o.segs[i+k] = nil
+	}
+	e.now = oldest.savedNow
+	o.segs = o.segs[:i]
+	o.cur = nil
+	g.stats.Rollbacks++
+	g.roundRollbacks++
+}
+
+// undoSeg reverses a segment's engine mutations, newest first. Parked Event
+// records on s.freed that remain dead are recycled by their undoSchedule
+// ops if those are also being rolled back, and otherwise revived; the freed
+// list itself is simply dropped (commit is what recycles).
+func (o *oShard) undoSeg(s *oseg) {
+	e := o.e
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		op := s.undo[i]
+		ev := op.ev
+		switch op.kind {
+		case undoSchedule:
+			ev.gen++ // kill the queued (or revived) entry
+			ev.pending = false
+			e.scheduled--
+			e.live--
+			e.recycle(ev)
+		case undoCancel:
+			ev.pending = true
+			ev.canceled = false
+			ev.when = op.when0
+			e.live++
+			e.enqueueRaw(ev, op.when0, op.seq0)
+		case undoResched:
+			ev.gen++ // kill the moved entry
+			ev.when = op.when0
+			e.enqueueRaw(ev, op.when0, op.seq0)
+		case undoFire, undoRecurStop:
+			e.fired--
+			e.live++
+			ev.pending = true
+			ev.when = op.when0
+			e.enqueueRaw(ev, op.when0, op.seq0)
+		case undoRecurRearm:
+			e.fired--
+			e.scheduled--
+			ev.gen++ // kill the re-armed entry
+			ev.when = op.when0
+			e.enqueueRaw(ev, op.when0, op.seq0)
+		}
+	}
+}
+
+// OptimisticGroup coordinates per-node engine shards under optimistic
+// (Time Warp) parallel execution. See the package comment at the top of
+// this file for the execution model. The API mirrors ShardGroup.
+type OptimisticGroup struct {
+	shards    []*Engine
+	oshards   []*oShard
+	lookahead Time
+	workers   int
+
+	window         int // optimism window, in lookaheads (adaptive)
+	maxWindow      int
+	cleanRuns      int // consecutive rollback-free rounds
+	growAfter      int // baseline clean rounds before the window grows
+	growWait       int // current clean rounds required (backed off on thrash)
+	sinceGrow      int // clean rounds since the last grow; -1 once proven/abandoned
+	stopCheck      StopValidator
+	stopFn         func() // pre-bound g.Stop, for allocation-free deferral
+	stopped        atomic.Bool
+	stats          OptStats
+	roundRollbacks uint64
+
+	deadlineNs  int64
+	deadlineHit bool
+
+	inbox [][]ocross // per-destination delivery staging, reused
+	batch []ocross   // merge scratch
+}
+
+// Optimism window defaults: start at optWindowInit lookaheads, grow by one
+// after optGrowAfter consecutive rollback-free rounds, halve on any round
+// with rollbacks, never exceed optWindowMax. window == 1 degenerates to the
+// conservative schedule (speculation never leaves the safe window, so
+// rollbacks are impossible) and runs snapshot-free (see runLite). A grown
+// window is a probe: it has to survive optStableRuns clean rounds before the
+// clean-round requirement resets to optGrowAfter; a rollback inside that
+// stability horizon doubles the requirement instead, up to optGrowWaitMax.
+// A workload that defeats every probe therefore settles into long stretches
+// of lite rounds with a rare probe, instead of thrashing grow/halve.
+const (
+	optWindowInit  = 8
+	optWindowMax   = 64
+	optGrowAfter   = 2
+	optGrowWaitMax = 256
+	optStableRuns  = 16
+)
+
+// NewOptimisticGroup builds n wheel-backed engine shards sharing seed,
+// speculated by up to workers goroutines per round. lookahead is the
+// minimum cross-shard scheduling distance the model guarantees (the
+// fabric's minimum cross-node latency), exactly as for NewShardGroup.
+func NewOptimisticGroup(seed int64, n, workers int, lookahead Time) *OptimisticGroup {
+	if n <= 0 {
+		panic("sim: OptimisticGroup needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: OptimisticGroup lookahead must be positive, got %v", lookahead))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	g := &OptimisticGroup{
+		lookahead: lookahead,
+		workers:   workers,
+		window:    optWindowInit,
+		maxWindow: optWindowMax,
+		growAfter: optGrowAfter,
+		growWait:  optGrowAfter,
+		sinceGrow: -1,
+	}
+	g.stopFn = g.Stop
+	g.shards = make([]*Engine, n)
+	g.oshards = make([]*oShard, n)
+	g.inbox = make([][]ocross, n)
+	for i := range g.shards {
+		e := NewEngineWithCore(seed, CoreWheel)
+		o := &oShard{g: g, e: e, idx: i}
+		e.opt = o
+		g.shards[i] = e
+		g.oshards[i] = o
+	}
+	return g
+}
+
+// SetOptimism overrides the adaptive window bounds: the group starts (and
+// re-grows to at most) max lookaheads of speculation, beginning at initial.
+// initial == max pins the window (no adaptation). Values below 1 are
+// clamped; window 1 is exactly the conservative schedule.
+func (g *OptimisticGroup) SetOptimism(initial, max int) {
+	if max < 1 {
+		max = 1
+	}
+	if initial < 1 {
+		initial = 1
+	}
+	if initial > max {
+		initial = max
+	}
+	g.window = initial
+	g.maxWindow = max
+	g.growWait = g.growAfter
+	g.cleanRuns = 0
+	g.sinceGrow = -1
+}
+
+// SetStopValidator installs the barrier-time stop check (see StopValidator).
+func (g *OptimisticGroup) SetStopValidator(v StopValidator) { g.stopCheck = v }
+
+// Shard returns shard i's engine.
+func (g *OptimisticGroup) Shard(i int) *Engine { return g.shards[i] }
+
+// Shards returns the shard count.
+func (g *OptimisticGroup) Shards() int { return len(g.shards) }
+
+// Workers returns the worker budget rounds are executed with.
+func (g *OptimisticGroup) Workers() int { return g.workers }
+
+// Lookahead returns the minimum cross-shard scheduling distance.
+func (g *OptimisticGroup) Lookahead() Time { return g.lookahead }
+
+// Stats returns the optimistic-machinery counters. Call between or after
+// runs.
+func (g *OptimisticGroup) Stats() OptStats {
+	st := g.stats
+	st.Window = g.window
+	return st
+}
+
+// Fired sums events fired across all shards. Between runs every fired
+// event is committed, so this equals the serial engine's count.
+func (g *OptimisticGroup) Fired() uint64 {
+	var n uint64
+	for _, sh := range g.shards {
+		n += sh.fired
+	}
+	return n
+}
+
+// Pending sums pending events across all shards.
+func (g *OptimisticGroup) Pending() int {
+	n := 0
+	for _, sh := range g.shards {
+		n += sh.live
+	}
+	return n
+}
+
+// Stop requests the run to end. From outside the simulation it takes
+// effect at the next barrier; from an event callback it is deferred to the
+// event's commit (see Engine.Stop), so the stop point is deterministic.
+func (g *OptimisticGroup) Stop() { g.stopped.Store(true) }
+
+// Stopped reports whether Stop was called (and, for stops requested by
+// speculative events, committed).
+func (g *OptimisticGroup) Stopped() bool { return g.stopped.Load() }
+
+// SetWallDeadline arms a real-time budget for Run, checked at barriers.
+// Zero time disarms it.
+func (g *OptimisticGroup) SetWallDeadline(t time.Time) {
+	if t.IsZero() {
+		g.deadlineNs = 0
+		return
+	}
+	g.deadlineNs = t.UnixNano()
+}
+
+// WallDeadlineHit reports whether a Run was cut short by SetWallDeadline.
+func (g *OptimisticGroup) WallDeadlineHit() bool { return g.deadlineHit }
+
+func (g *OptimisticGroup) pastDeadline() bool {
+	if g.deadlineNs != 0 && time.Now().UnixNano() > g.deadlineNs {
+		g.deadlineHit = true
+		return true
+	}
+	return false
+}
+
+// minFloor is the group floor G: the earliest simulated time any shard
+// could still affect.
+func (g *OptimisticGroup) minFloor() (Time, bool) {
+	var G Time
+	found := false
+	for _, o := range g.oshards {
+		if f, ok := o.floor(); ok && (!found || f < G) {
+			G, found = f, true
+		}
+	}
+	return G, found
+}
+
+// Run executes events until every queue is empty (with all history
+// committed), the group is stopped, or the next event lies strictly after
+// until. It returns the number of events fired (net of rollbacks) by this
+// call. Run must only be called from one goroutine at a time.
+func (g *OptimisticGroup) Run(until Time) uint64 {
+	startFired := g.Fired()
+	limit := Forever
+	if until < Forever-1 {
+		limit = until + 1 // Run semantics: fire events with when <= until
+	}
+
+	// Effective dispatch width, as for ShardGroup: workers beyond
+	// GOMAXPROCS or the shard count only inflate stall accounting.
+	w := g.workers
+	if mp := runtime.GOMAXPROCS(0); w > mp {
+		w = mp
+	}
+	if w > len(g.shards) {
+		w = len(g.shards)
+	}
+
+	var (
+		act      []*oShard
+		horizon  Time
+		cursor   atomic.Int64
+		pids     atomic.Int64
+		finishNs []int64
+		wg       sync.WaitGroup
+		wake     chan time.Time
+	)
+	claim := func(t0 time.Time) {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(act) {
+				break
+			}
+			act[i].speculate(horizon)
+		}
+		finishNs[pids.Add(1)-1] = time.Since(t0).Nanoseconds()
+	}
+	if w > 1 {
+		finishNs = make([]int64, w)
+		wake = make(chan time.Time, w)
+		defer close(wake)
+		for i := 1; i < w; i++ {
+			go func() {
+				for t0 := range wake {
+					claim(t0)
+					wg.Done()
+				}
+			}()
+		}
+	}
+
+	for !g.pastDeadline() {
+		if g.stopped.Load() {
+			g.abortUncommitted()
+			break
+		}
+		G, ok := g.minFloor()
+		if !ok || G >= limit {
+			break
+		}
+		horizon = G + Time(g.window)*g.lookahead
+		if horizon <= G || horizon > limit {
+			horizon = limit
+		}
+
+		act = act[:0]
+		for _, o := range g.oshards {
+			if when, has := o.e.peekNext(); has && when < horizon {
+				act = append(act, o)
+			}
+		}
+		if len(act) <= 1 || w <= 1 {
+			for _, o := range act {
+				o.speculate(horizon)
+			}
+		} else {
+			t0 := time.Now()
+			cursor.Store(0)
+			pids.Store(0)
+			participants := w
+			if participants > len(act) {
+				participants = len(act)
+			}
+			wg.Add(participants - 1)
+			for i := 1; i < participants; i++ {
+				wake <- t0
+			}
+			claim(t0)
+			wg.Wait()
+			var maxNs, sumNs int64
+			for _, f := range finishNs[:participants] {
+				sumNs += f
+				if f > maxNs {
+					maxNs = f
+				}
+			}
+			if stall := int64(participants)*maxNs - sumNs; stall > 0 {
+				g.stats.BarrierStallNs += stall
+			}
+		}
+		for _, o := range act {
+			g.stats.SpeculatedEvents += uint64(o.specEvents)
+			o.specEvents = 0
+		}
+		g.stats.Rounds++
+
+		g.roundRollbacks = 0
+		g.barrier()
+		g.adapt()
+
+		if g.stopped.Load() {
+			g.abortUncommitted()
+			if g.stopCheck != nil && !g.stopCheck() {
+				// Vetoed: the stopping condition was speculative state that
+				// rolled back. Drop the request and keep running; if real,
+				// it will re-commit and re-request.
+				g.stopped.Store(false)
+				continue
+			}
+			break
+		}
+	}
+	return g.Fired() - startFired
+}
+
+// RunUntilIdle executes events until none remain or the group is stopped.
+func (g *OptimisticGroup) RunUntilIdle() uint64 { return g.Run(Forever) }
+
+// barrier is the serial commit fixpoint: repeatedly commit every segment
+// whose start equals the group floor, deliver the sends that commitment
+// released, and roll back destinations those deliveries invalidated, until
+// the floor is no longer a segment start.
+func (g *OptimisticGroup) barrier() {
+	for {
+		G, ok := g.minFloor()
+		if !ok {
+			return
+		}
+		committed := false
+		for _, o := range g.oshards {
+			// A lite segment is unconditionally committable: its history lies
+			// below G+L of the round that produced it, and every send still
+			// unreleased — this barrier's or a later one's — arrives at or
+			// after that bound.
+			if len(o.segs) > 0 && (o.segs[0].start == G || o.segs[0].lite) {
+				g.commitFront(o)
+				committed = true
+			}
+		}
+		if !committed {
+			return
+		}
+		g.stats.GVTWaves++
+		g.deliver()
+	}
+}
+
+// commitFront commits shard o's oldest segment: release its cross-shard
+// sends into the group inbox, run its deferred actions, recycle its parked
+// Event records, return its snapshots to their pools, and flush committed
+// side channels up to the shard's new floor.
+func (g *OptimisticGroup) commitFront(o *oShard) {
+	s := o.segs[0]
+	copy(o.segs, o.segs[1:])
+	o.segs[len(o.segs)-1] = nil
+	o.segs = o.segs[:len(o.segs)-1]
+	if o.cur == s {
+		o.cur = nil
+	}
+
+	for _, c := range s.sends {
+		g.inbox[c.dst] = append(g.inbox[c.dst], c)
+	}
+	for _, fn := range s.deferred {
+		fn()
+	}
+	for _, ev := range s.freed {
+		o.e.recycle(ev)
+	}
+	for li, sn := range s.snaps { // empty for lite segments
+		o.layers[li].Release(sn)
+	}
+	g.stats.CommittedEvents += uint64(s.events)
+
+	if len(o.committers) > 0 {
+		bound := o.e.now + 1
+		if len(o.segs) > 0 {
+			bound = o.segs[0].start
+		}
+		for _, c := range o.committers {
+			c.CommitUpTo(bound)
+		}
+	}
+	o.releaseSeg(s)
+}
+
+// deliver merges the inbox into each destination queue in (when, source
+// shard, staging order) order — identical to the conservative barrier
+// merge — rolling back any destination whose speculated history extends
+// past its earliest delivery.
+func (g *OptimisticGroup) deliver() {
+	for di, o := range g.oshards {
+		pend := g.inbox[di]
+		if len(pend) == 0 {
+			continue
+		}
+		b := append(g.batch[:0], pend...)
+		for k := range pend {
+			pend[k] = ocross{}
+		}
+		g.inbox[di] = pend[:0]
+		sort.SliceStable(b, func(i, j int) bool { return b[i].when < b[j].when })
+		o.rollbackTo(b[0].when)
+		for _, ce := range b {
+			o.e.At(ce.when, ce.label, ce.fn)
+		}
+		g.stats.CrossShardEvents += uint64(len(b))
+		for k := range b {
+			b[k] = ocross{}
+		}
+		g.batch = b[:0]
+	}
+}
+
+// adapt tunes the optimism window from this round's rollback outcome:
+// halve after a round with rollbacks, grow by one after growWait
+// consecutive clean rounds. A grow is a probe that must survive
+// optStableRuns clean rounds before it counts as proven; a rollback inside
+// that horizon means the workload's cross-shard traffic defeats that much
+// optimism, so the clean-round requirement doubles (up to optGrowWaitMax)
+// before the next probe. A proven probe resets the requirement to the
+// baseline. All inputs are deterministic counters, so the window trajectory
+// — and with it the whole speculation schedule — is reproducible at any
+// worker count.
+func (g *OptimisticGroup) adapt() {
+	if g.roundRollbacks > 0 {
+		g.cleanRuns = 0
+		g.window /= 2
+		if g.window < 1 {
+			g.window = 1
+		}
+		if g.sinceGrow >= 0 {
+			g.growWait *= 2
+			if g.growWait > optGrowWaitMax {
+				g.growWait = optGrowWaitMax
+			}
+		}
+		g.sinceGrow = -1
+		return
+	}
+	g.cleanRuns++
+	if g.sinceGrow >= 0 {
+		g.sinceGrow++
+		if g.sinceGrow >= optStableRuns {
+			g.growWait = g.growAfter
+			g.sinceGrow = -1
+		}
+	}
+	if g.cleanRuns >= g.growWait && g.window < g.maxWindow {
+		g.window++
+		g.cleanRuns = 0
+		g.sinceGrow = 0
+	}
+}
+
+// abortUncommitted rolls every shard back to its committed prefix. Called
+// when a stop surfaces at a barrier: the surviving state is exactly the
+// committed history, independent of how far speculation had run ahead.
+func (g *OptimisticGroup) abortUncommitted() {
+	for _, o := range g.oshards {
+		if len(o.segs) > 0 {
+			o.rollbackTo(o.segs[0].start - 1)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+// benchIntLayer checkpoints one int through a pooled snapshot so the
+// benchmark's speculation exercises the save/restore path without boxing
+// allocations of its own.
+type benchIntLayer struct {
+	v    *int
+	pool []*int
+}
+
+func (l *benchIntLayer) Save() any {
+	var s *int
+	if k := len(l.pool); k > 0 {
+		s = l.pool[k-1]
+		l.pool[k-1] = nil
+		l.pool = l.pool[:k-1]
+	} else {
+		s = new(int)
+	}
+	*s = *l.v
+	return s
+}
+
+func (l *benchIntLayer) Restore(snap any) { *l.v = *snap.(*int) }
+func (l *benchIntLayer) Release(snap any) { l.pool = append(l.pool, snap.(*int)) }
+
+// BenchmarkOptimisticSteadyAllocs measures the Time Warp machinery's
+// steady-state allocation cost: 4 shards under 2 workers, each carrying a
+// dense self-rescheduling event chain with a registered checkpoint layer and
+// a cross-shard send every 4th firing, driven for b.N lookaheads of
+// simulated time. This is the test-suite twin of the "optimistic-speculate"
+// entry in results/bench_mem.json (cmd/enginebench -mode mem); run with
+// -benchmem. Snapshot records, segment bookkeeping, staged sends and
+// recycled events all come from pools, so steady-state speculation should
+// allocate zero bytes per event (allocs/op ~ 0 as b.N grows; rollback-path
+// retries may add a bounded residue).
+func BenchmarkOptimisticSteadyAllocs(b *testing.B) {
+	const shards = 4
+	lookahead := 24 * Microsecond
+	g := NewOptimisticGroup(1, shards, 2, lookahead)
+	counters := make([]int, shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		e := g.Shard(i)
+		e.AddShardState(&benchIntLayer{v: &counters[i]})
+		e.Recur(Time(i+1)*Microsecond, "chain", func() Time {
+			counters[i]++
+			if counters[i]%4 == 0 {
+				dst := g.Shard((i + 1) % shards)
+				e.ScheduleOn(dst, e.Now()+lookahead, "cross", func() {})
+			}
+			return e.Now() + 10*Microsecond
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(Time(b.N) * lookahead)
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// diffLayer checkpoints one logical shard's harness state for the
+// optimistic core: rollback must rewind the slot counter, tick counter,
+// tracked-event bookkeeping and the per-shard fire log in lockstep with the
+// engine queue. Snapshots are pooled, and the test asserts the pool drains
+// (every Save matched by a Release) after the run — the save-record leak
+// guard the fossil collector is supposed to honor.
+type diffSnap struct {
+	n, ticks, logLen int
+	ids              []int
+	pendIDs          []int
+	pendEvs          []*Event
+}
+
+type diffLayer struct {
+	st   *diffShardState
+	pool []*diffSnap
+
+	saves, restores, releases int
+}
+
+func (l *diffLayer) Save() any {
+	var s *diffSnap
+	if n := len(l.pool); n > 0 {
+		s = l.pool[n-1]
+		l.pool = l.pool[:n-1]
+	} else {
+		s = &diffSnap{}
+	}
+	st := l.st
+	s.n, s.ticks, s.logLen = st.n, st.ticks, len(st.log)
+	s.ids = append(s.ids[:0], st.ids...)
+	s.pendIDs = s.pendIDs[:0]
+	s.pendEvs = s.pendEvs[:0]
+	for id, ev := range st.pending {
+		s.pendIDs = append(s.pendIDs, id)
+		s.pendEvs = append(s.pendEvs, ev)
+	}
+	l.saves++
+	return s
+}
+
+func (l *diffLayer) Restore(snap any) {
+	s := snap.(*diffSnap)
+	st := l.st
+	st.n, st.ticks = s.n, s.ticks
+	st.log = st.log[:s.logLen]
+	st.ids = append(st.ids[:0], s.ids...)
+	clear(st.pending)
+	for i, id := range s.pendIDs {
+		st.pending[id] = s.pendEvs[i]
+	}
+	l.restores++
+}
+
+func (l *diffLayer) Release(snap any) {
+	s := snap.(*diffSnap)
+	for i := range s.pendEvs {
+		s.pendEvs[i] = nil
+	}
+	l.pool = append(l.pool, s)
+	l.releases++
+}
+
+// runOptimistic drives the differential workload on an OptimisticGroup with
+// the given workers, returning the merged fire log and the harness layers
+// for leak inspection.
+func runOptimistic(seed uint64, workers, stopAtID int) ([]fireRec, *OptimisticGroup, []*diffLayer) {
+	g := NewOptimisticGroup(0, diffShards, workers, diffU)
+	engines := make([]*Engine, diffShards)
+	for i := range engines {
+		engines[i] = g.Shard(i)
+	}
+	d := newDiffHarness(seed, engines, stopAtID)
+	layers := make([]*diffLayer, diffShards)
+	for i := range engines {
+		layers[i] = &diffLayer{st: d.state[i]}
+		engines[i].AddShardState(layers[i])
+	}
+	d.seedWork()
+	g.RunUntilIdle()
+	return d.sortedLog(), g, layers
+}
+
+// checkOptimisticClean asserts post-run hygiene: no uncommitted segments
+// remain, every layer snapshot was returned to its pool, and the group's
+// committed-event count matches the surviving log.
+func checkOptimisticClean(t *testing.T, tag string, g *OptimisticGroup, layers []*diffLayer, logLen int) {
+	t.Helper()
+	for i, o := range g.oshards {
+		if len(o.segs) != 0 || o.cur != nil {
+			t.Errorf("%s: shard %d left %d uncommitted segments", tag, i, len(o.segs))
+		}
+	}
+	for i, l := range layers {
+		if l.saves != l.releases {
+			t.Errorf("%s: shard %d leaked snapshots: %d saves, %d releases", tag, i, l.saves, l.releases)
+		}
+	}
+	st := g.Stats()
+	if st.CommittedEvents != uint64(logLen) {
+		t.Errorf("%s: committed %d events, log has %d", tag, st.CommittedEvents, logLen)
+	}
+	if g.Fired() != uint64(logLen) {
+		t.Errorf("%s: fired %d, log has %d", tag, g.Fired(), logLen)
+	}
+}
+
+// TestOptimisticDifferential drives identical randomized schedule / cancel
+// / reschedule / cross-shard-send sequences through the reference heap core
+// and OptimisticGroups at 1, 2 and 4 workers, asserting identical fire logs
+// for every seed — the Time Warp acceptance bar: byte-identical history to
+// the serial engine at any worker count.
+func TestOptimisticDifferential(t *testing.T) {
+	seeds := []uint64{1, 7, 42, 1234}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		ref := runSerial(seed, CoreHeap, -1)
+		if len(ref) < 100 {
+			t.Fatalf("seed %d: degenerate workload, only %d fires", seed, len(ref))
+		}
+		for _, w := range []int{1, 2, 4} {
+			got, g, layers := runOptimistic(seed, w, -1)
+			logsEqual(t, "optimistic", ref, got)
+			checkOptimisticClean(t, "optimistic", g, layers, len(got))
+		}
+	}
+}
+
+// TestOptimisticStopDeterministic verifies the committed-stop protocol:
+// Stop called from an event callback takes effect only when that event
+// commits, so every worker count stops at the identical point.
+func TestOptimisticStopDeterministic(t *testing.T) {
+	const seed = 42
+	full, _, _ := runOptimistic(seed, 1, -1)
+	stopAt := full[len(full)/2].id
+	ref, g, layers := runOptimistic(seed, 1, stopAt)
+	if len(ref) >= len(full) {
+		t.Fatalf("stop did not shorten the run (%d vs %d fires)", len(ref), len(full))
+	}
+	checkOptimisticClean(t, "stop/1", g, layers, len(ref))
+	for _, w := range []int{2, 4} {
+		got, g, layers := runOptimistic(seed, w, stopAt)
+		logsEqual(t, "stop", ref, got)
+		checkOptimisticClean(t, "stop", g, layers, len(got))
+	}
+}
+
+// stragRec is one fire in the straggler test's per-shard logs.
+type stragRec struct {
+	when  Time
+	shard int
+}
+
+// lenLayer checkpoints an append-only per-shard log by length: rollback
+// truncates speculated fires.
+type lenLayer struct {
+	log *[]stragRec
+}
+
+func (l *lenLayer) Save() any        { return len(*l.log) }
+func (l *lenLayer) Restore(snap any) { *l.log = (*l.log)[:snap.(int)] }
+func (l *lenLayer) Release(snap any) {}
+
+// TestOptimisticStragglerRollback forces the classic Time Warp scenario: a
+// straggler shard commits an old event whose released message lands in the
+// middle of another shard's speculated future. The test pins that (a)
+// rollbacks actually happened, (b) the final history still matches the
+// serial reference exactly, and (c) fossil collection drained every save
+// record and anti-message afterward.
+func TestOptimisticStragglerRollback(t *testing.T) {
+	const L = Time(100)
+	run := func(optimistic bool, workers int) ([]stragRec, *OptimisticGroup) {
+		var logs [2][]stragRec
+		var engines [2]*Engine
+		var g *OptimisticGroup
+		if optimistic {
+			g = NewOptimisticGroup(0, 2, workers, L)
+			g.SetOptimism(8, 8) // pin the window: no adaptive de-escalation
+			engines[0], engines[1] = g.Shard(0), g.Shard(1)
+			engines[0].AddShardState(&lenLayer{log: &logs[0]})
+			engines[1].AddShardState(&lenLayer{log: &logs[1]})
+		} else {
+			e := NewEngineWithCore(0, CoreHeap)
+			engines[0], engines[1] = e, e
+		}
+		// Shard 1: dense local work far into the future (odd times, so the
+		// merged log is a total order on `when` alone).
+		for i := 0; i < 60; i++ {
+			when := Time(55 + i*10)
+			engines[1].At(when, "dense", func() {
+				logs[1] = append(logs[1], stragRec{engines[1].Now(), 1})
+			})
+		}
+		// Shard 0: a straggler at t=60 whose cross-shard message lands at
+		// t=160 — inside shard 1's speculated history once the window
+		// exceeds one lookahead. Shard 1's handler answers back, exercising
+		// sends from a shard that itself gets rolled back (anti-messages).
+		engines[0].At(60, "straggler", func() {
+			logs[0] = append(logs[0], stragRec{engines[0].Now(), 0})
+			engines[0].ScheduleOn(engines[1], engines[0].Now()+L, "cross", func() {
+				logs[1] = append(logs[1], stragRec{engines[1].Now(), 1})
+				engines[1].ScheduleOn(engines[0], engines[1].Now()+L, "reply", func() {
+					logs[0] = append(logs[0], stragRec{engines[0].Now(), 0})
+				})
+			})
+		})
+		if optimistic {
+			g.RunUntilIdle()
+		} else {
+			engines[0].RunUntilIdle()
+		}
+		merged := append(append([]stragRec{}, logs[0]...), logs[1]...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i].when < merged[j].when })
+		return merged, g
+	}
+
+	ref, _ := run(false, 1)
+	for _, w := range []int{1, 2} {
+		got, g := run(true, w)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d fires, want %d", w, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: fire %d = %+v, want %+v", w, i, got[i], ref[i])
+			}
+		}
+		st := g.Stats()
+		if st.Rollbacks == 0 {
+			t.Errorf("workers=%d: straggler produced no rollbacks (window %d)", w, st.Window)
+		}
+		if st.RolledBackEvents == 0 {
+			t.Errorf("workers=%d: no events rolled back", w)
+		}
+		for i, o := range g.oshards {
+			if len(o.segs) != 0 || o.cur != nil {
+				t.Errorf("workers=%d: shard %d left uncommitted segments", w, i)
+			}
+			if len(o.segPool) == 0 {
+				t.Errorf("workers=%d: shard %d segment pool empty — segments not fossil-collected", w, i)
+			}
+		}
+		if st.CommittedEvents != uint64(len(got)) {
+			t.Errorf("workers=%d: committed %d, log %d", w, st.CommittedEvents, len(got))
+		}
+	}
+}
+
+// TestOptimisticWindowAdapts pins the throttle: a workload with constant
+// cross-shard rollback pressure drives the window down toward the
+// conservative regime, and the Stats report it.
+func TestOptimisticWindowAdapts(t *testing.T) {
+	g := NewOptimisticGroup(0, diffShards, 2, diffU)
+	engines := make([]*Engine, diffShards)
+	for i := range engines {
+		engines[i] = g.Shard(i)
+	}
+	d := newDiffHarness(7, engines, -1)
+	layers := make([]*diffLayer, diffShards)
+	for i := range engines {
+		layers[i] = &diffLayer{st: d.state[i]}
+		engines[i].AddShardState(layers[i])
+	}
+	d.seedWork()
+	g.RunUntilIdle()
+	st := g.Stats()
+	if st.Rounds == 0 || st.GVTWaves == 0 {
+		t.Fatalf("no rounds/GVT waves recorded: %+v", st)
+	}
+	if st.CommittedEvents == 0 {
+		t.Fatal("nothing committed")
+	}
+	if st.SpeculatedEvents < st.CommittedEvents {
+		t.Errorf("speculated %d < committed %d", st.SpeculatedEvents, st.CommittedEvents)
+	}
+	if st.Window < 1 || st.Window > optWindowMax {
+		t.Errorf("window %d out of range", st.Window)
+	}
+}

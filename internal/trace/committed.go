@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/sim"
+)
+
+// Marker receives application trace marks. *Buffer implements it directly;
+// under the optimistic (Time Warp) engine core use *Committed so that marks
+// emitted by speculation that later rolls back are discarded instead of
+// polluting the trace.
+type Marker interface {
+	Mark(now sim.Time, node int, label string)
+}
+
+// Committed wraps a Buffer for the optimistic engine core: records captured
+// while the shard speculates are staged in order; a rollback truncates the
+// stage (sim.ShardState), and each barrier flushes the records that can no
+// longer roll back — Time strictly below the shard's committed bound — into
+// the underlying ring (sim.ShardCommitter). The visible buffer therefore
+// holds exactly the records a serial run would have captured, in the same
+// order, which is what keeps golden trace hashes identical across cores.
+//
+// Register the wrapper with the engine of the shard whose node it traces
+// (Engine.AddShardState is a no-op on serial and conservative cores, where
+// staging still flushes at the end of the run via CommitUpTo or simply on
+// Flush).
+type Committed struct {
+	buf    *Buffer
+	staged []Record
+	pool   []*committedSnap
+}
+
+type committedSnap struct{ n int }
+
+// NewCommitted wraps buf. The wrapper implements kernel.EventSink, Marker,
+// sim.ShardState and sim.ShardCommitter.
+func NewCommitted(buf *Buffer) *Committed { return &Committed{buf: buf} }
+
+// Buffer returns the wrapped ring.
+func (c *Committed) Buffer() *Buffer { return c.buf }
+
+// KernelEvent implements kernel.EventSink, staging the record.
+func (c *Committed) KernelEvent(now sim.Time, node int, cpu int, kind kernel.EventKind, th *kernel.Thread, arg int64) {
+	if c.buf.skipTick && kind == kernel.EvTick {
+		return
+	}
+	r := Record{Time: now, Node: node, CPU: cpu, Kind: kind, Arg: arg, TID: -1}
+	if th != nil {
+		r.Thread = th.Name()
+		r.TID = th.ID()
+		r.Prio = th.Priority()
+		r.Daemon = th.Daemon
+	}
+	c.staged = append(c.staged, r)
+}
+
+// Mark implements Marker, staging the mark.
+func (c *Committed) Mark(now sim.Time, node int, label string) {
+	c.staged = append(c.staged, Record{Time: now, Node: node, CPU: -1, Kind: kernel.EvReady, TID: -1, Mark: label})
+}
+
+// Save implements sim.ShardState: the stage is append-only between
+// snapshots, so its length is the whole checkpoint.
+func (c *Committed) Save() any {
+	var s *committedSnap
+	if k := len(c.pool); k > 0 {
+		s = c.pool[k-1]
+		c.pool[k-1] = nil
+		c.pool = c.pool[:k-1]
+	} else {
+		s = &committedSnap{}
+	}
+	s.n = len(c.staged)
+	return s
+}
+
+// Restore drops every record staged after the snapshot.
+func (c *Committed) Restore(snap any) {
+	n := snap.(*committedSnap).n
+	for i := n; i < len(c.staged); i++ {
+		c.staged[i] = Record{} // release the rolled-back label strings
+	}
+	c.staged = c.staged[:n]
+}
+
+// Release implements sim.ShardState.
+func (c *Committed) Release(snap any) { c.pool = append(c.pool, snap.(*committedSnap)) }
+
+// CommitUpTo implements sim.ShardCommitter: flush staged records with
+// Time < t into the ring. Events execute in nondecreasing time per shard, so
+// the stage is sorted and the flush is a prefix.
+func (c *Committed) CommitUpTo(t sim.Time) {
+	i := 0
+	for i < len(c.staged) && c.staged[i].Time < t {
+		c.buf.push(c.staged[i])
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	rest := copy(c.staged, c.staged[i:])
+	for k := rest; k < len(c.staged); k++ {
+		c.staged[k] = Record{}
+	}
+	c.staged = c.staged[:rest]
+}
+
+// Flush drains every staged record into the ring regardless of bound; call
+// after the run ends (all remaining records are committed by then).
+func (c *Committed) Flush() { c.CommitUpTo(sim.Forever) }
