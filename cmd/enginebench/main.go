@@ -255,12 +255,25 @@ type optMeasurement struct {
 	SpeedupVsSharded float64 `json:"speedup_vs_sharded,omitempty"`
 	GVTWaves         uint64  `json:"gvt_waves"`
 	CommittedEvents  uint64  `json:"committed_events"`
-	SpeculatedEvents uint64  `json:"speculated_events"`
-	Rollbacks        uint64  `json:"rollbacks"`
-	RolledBackEvents uint64  `json:"rolled_back_events"`
-	AntiMessages     uint64  `json:"anti_messages"`
-	Window           int     `json:"window"`
-	BarrierStallMs   float64 `json:"barrier_stall_ms"`
+	// CommittedSegments counts speculation segments retired by the
+	// generalized commit bound; committed_events/committed_segments is the
+	// mean segment length, and gvt_waves/committed_segments ~ how many GVT
+	// sweeps a segment waits before commitment.
+	CommittedSegments uint64 `json:"committed_segments"`
+	SpeculatedEvents  uint64 `json:"speculated_events"`
+	Rollbacks         uint64 `json:"rollbacks"`
+	RolledBackEvents  uint64 `json:"rolled_back_events"`
+	AntiMessages      uint64 `json:"anti_messages"`
+	// Snap* aggregate the dirty-tracked checkpoint traffic across every
+	// incremental layer: bytes actually copied into / restored from
+	// pre-image records, entries copied, and entries skipped because the
+	// segment never touched them (the dirty-tracking win).
+	SnapSaveBytes      uint64  `json:"snap_save_bytes"`
+	SnapRestoreBytes   uint64  `json:"snap_restore_bytes"`
+	SnapEntriesSaved   uint64  `json:"snap_entries_saved"`
+	SnapEntriesSkipped uint64  `json:"snap_entries_skipped"`
+	Window             int     `json:"window"`
+	BarrierStallMs     float64 `json:"barrier_stall_ms"`
 }
 
 // pdesComparison is one scenario: the serial wheel baseline, the sharded
@@ -300,6 +313,7 @@ type pdesScenario struct {
 	jitter    sim.Time
 	lookahead sim.Time // overrides the fabric latency (= conservative lookahead)
 	ale3d     bool
+	group     int // nodes per event shard (0 = automatic coarsening)
 	// core/memWorkers pin an engine core and intra-run worker count for the
 	// -mode mem scenarios (zero values: serial wheel).
 	core       sim.Core
@@ -342,6 +356,15 @@ func pdesScenarios() []pdesScenario {
 			nodes: 8, calls: 128, jitter: 2 * coschedsim.Microsecond,
 			lookahead: 6 * coschedsim.Microsecond,
 		},
+		{
+			name: "pdes-opt-group-16",
+			detail: "the short-lookahead jittered scenario at 16 nodes with 4 " +
+				"nodes per event shard: coarsened shards amortize the optimistic " +
+				"core's per-shard segment/snapshot overhead and cut the GVT " +
+				"fixpoint's per-shard scan, at the cost of wider rollback scope",
+			nodes: 16, calls: 128, jitter: 2 * coschedsim.Microsecond,
+			lookahead: 6 * coschedsim.Microsecond, group: 4,
+		},
 	}
 }
 
@@ -358,6 +381,7 @@ func pdesConfig(s pdesScenario, workers int, seed int64) coschedsim.Config {
 		cfg.Network.Latency = s.lookahead
 	}
 	cfg.IntraRunWorkers = workers
+	cfg.ShardNodeGroup = s.group
 	return cfg
 }
 
@@ -491,18 +515,23 @@ func runPDES(out string, reps int) {
 			m := measure(scenario{name: s.name, run: pdesBody(s, w)}, sim.CoreOptimistic, reps)
 			os_ := pdesOptStats(s, w)
 			om := optMeasurement{
-				Workers:          w,
-				EventsPerSec:     m.EventsPerSec,
-				NsPerOp:          m.NsPerOp,
-				Iterations:       m.Iterations,
-				GVTWaves:         os_.GVTWaves,
-				CommittedEvents:  os_.CommittedEvents,
-				SpeculatedEvents: os_.SpeculatedEvents,
-				Rollbacks:        os_.Rollbacks,
-				RolledBackEvents: os_.RolledBackEvents,
-				AntiMessages:     os_.AntiMessages,
-				Window:           os_.Window,
-				BarrierStallMs:   float64(os_.BarrierStallNs) / 1e6,
+				Workers:            w,
+				EventsPerSec:       m.EventsPerSec,
+				NsPerOp:            m.NsPerOp,
+				Iterations:         m.Iterations,
+				GVTWaves:           os_.GVTWaves,
+				CommittedEvents:    os_.CommittedEvents,
+				CommittedSegments:  os_.CommittedSegments,
+				SpeculatedEvents:   os_.SpeculatedEvents,
+				Rollbacks:          os_.Rollbacks,
+				RolledBackEvents:   os_.RolledBackEvents,
+				AntiMessages:       os_.AntiMessages,
+				SnapSaveBytes:      os_.SnapSaveBytes,
+				SnapRestoreBytes:   os_.SnapRestoreBytes,
+				SnapEntriesSaved:   os_.SnapEntriesSaved,
+				SnapEntriesSkipped: os_.SnapEntriesSkipped,
+				Window:             os_.Window,
+				BarrierStallMs:     float64(os_.BarrierStallNs) / 1e6,
 			}
 			if serial.EventsPerSec > 0 {
 				om.SpeedupVsSerial = m.EventsPerSec / serial.EventsPerSec
@@ -643,7 +672,7 @@ func runPDESCheck(against string, reps int, tolerance float64) {
 			}
 		}
 	}
-	optGuarded := []string{"pdes-opt-shortlook-8"}
+	optGuarded := []string{"pdes-opt-shortlook-8", "pdes-opt-group-16"}
 	for _, s := range pdesScenarios() {
 		keep := false
 		for _, g := range optGuarded {

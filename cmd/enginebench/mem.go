@@ -221,29 +221,65 @@ func shardedWindowBody(b *testing.B) {
 	g.Run(sim.Time(b.N) * lookahead)
 }
 
-// optimisticIntLayer checkpoints one int through a pooled snapshot so the
-// micro-benchmark's speculation exercises the save/restore path without
-// boxing allocations of its own.
-type optimisticIntLayer struct {
-	v    *int
-	pool []*int
+// optimisticIntLayer checkpoints one int through the dirty-tracked
+// (sim.ShardStateIncremental) protocol: Save arms an empty pooled record and
+// the first mutation of the segment copies the pre-image into it, so the
+// micro-benchmark's speculation exercises the same arm/touch/restore path
+// the real mpi/noise/gpfs layers use — with zero allocations of its own
+// once the pool warms up.
+type intSnap struct {
+	filled bool
+	v      int
 }
 
+type optimisticIntLayer struct {
+	v    int
+	cur  *intSnap
+	pool []*intSnap
+}
+
+// bump is the layer's one mutation: copy-before-first-write, then increment.
+func (l *optimisticIntLayer) bump() int {
+	if sn := l.cur; sn != nil && !sn.filled {
+		sn.filled, sn.v = true, l.v
+	}
+	l.v++
+	return l.v
+}
+
+func (l *optimisticIntLayer) Incremental() {}
+
 func (l *optimisticIntLayer) Save() any {
-	var s *int
+	var sn *intSnap
 	if k := len(l.pool); k > 0 {
-		s = l.pool[k-1]
+		sn = l.pool[k-1]
 		l.pool[k-1] = nil
 		l.pool = l.pool[:k-1]
 	} else {
-		s = new(int)
+		sn = &intSnap{}
 	}
-	*s = *l.v
-	return s
+	l.cur = sn
+	return sn
 }
 
-func (l *optimisticIntLayer) Restore(snap any) { *l.v = *snap.(*int) }
-func (l *optimisticIntLayer) Release(snap any) { l.pool = append(l.pool, snap.(*int)) }
+func (l *optimisticIntLayer) Restore(snap any) {
+	sn := snap.(*intSnap)
+	if sn == l.cur {
+		l.cur = nil
+	}
+	if sn.filled {
+		l.v = sn.v
+	}
+}
+
+func (l *optimisticIntLayer) Release(snap any) {
+	sn := snap.(*intSnap)
+	if sn == l.cur {
+		l.cur = nil
+	}
+	sn.filled = false
+	l.pool = append(l.pool, sn)
+}
 
 // optimisticSpeculateBody is the Time Warp steady-state micro-benchmark:
 // the same 4-shard / 2-worker / cross-shard-send-every-4th-firing loop as
@@ -258,14 +294,13 @@ func optimisticSpeculateBody(b *testing.B) {
 	const shards = 4
 	lookahead := 24 * sim.Microsecond
 	g := sim.NewOptimisticGroup(1, shards, 2, lookahead)
-	counters := make([]int, shards)
 	for i := 0; i < shards; i++ {
 		i := i
 		e := g.Shard(i)
-		e.AddShardState(&optimisticIntLayer{v: &counters[i]})
+		layer := &optimisticIntLayer{}
+		e.AddShardState(layer)
 		e.Recur(sim.Time(i+1)*sim.Microsecond, "chain", func() sim.Time {
-			counters[i]++
-			if counters[i]%4 == 0 {
+			if layer.bump()%4 == 0 {
 				dst := g.Shard((i + 1) % shards)
 				e.ScheduleOn(dst, e.Now()+lookahead, "cross", func() {})
 			}
@@ -302,9 +337,10 @@ func memMicros() []struct {
 		{
 			name: "optimistic-speculate",
 			detail: "per-lookahead steady-state allocations of the Time Warp " +
-				"machinery: 4 shards, 2 workers, checkpoint layers, cross-shard " +
-				"sends; target is parity with sharded-window-loop (speculation " +
-				"adds zero bytes); mirrors BenchmarkOptimisticSteadyAllocs",
+				"machinery: 4 shards, 2 workers, dirty-tracked (incremental) " +
+				"checkpoint layers, cross-shard sends; target is parity with " +
+				"sharded-window-loop (speculation adds zero bytes); mirrors " +
+				"BenchmarkOptimisticSteadyAllocs",
 			body: optimisticSpeculateBody,
 		},
 	}

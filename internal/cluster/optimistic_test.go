@@ -141,6 +141,132 @@ func TestOptimisticClusterBitIdentical(t *testing.T) {
 	}
 }
 
+// TestOptimisticGroupedBitIdentical pins shard coarsening on the Time Warp
+// core: mapping several nodes onto each event shard (ShardNodeGroup) must
+// reproduce the serial fingerprint exactly, same as the per-node default.
+// Grouping changes rollback scope — one surprise rewinds every node in the
+// shard — so this is the test that catches a layer whose dirty-tracking
+// confuses state across the grouped nodes.
+func TestOptimisticGroupedBitIdentical(t *testing.T) {
+	const calls = 40
+	cfg := func(s int64) Config {
+		c := Vanilla(8, 8, s)
+		c.Network.Jitter = 3 * sim.Microsecond
+		return c
+	}
+	refTimes, refDone, refSends, _ := allreduceTrace(t, cfg(7), calls)
+	for _, group := range []int{2, 4} {
+		for _, workers := range []int{1, 2} {
+			var times []sim.Time
+			var done sim.Time
+			var sends uint64
+			var c *Cluster
+			withCore(sim.CoreOptimistic, func() {
+				gcfg := cfg(7)
+				gcfg.IntraRunWorkers = workers
+				gcfg.ShardNodeGroup = group
+				times, done, sends, c = allreduceTrace(t, gcfg, calls)
+			})
+			if c.OptGroup == nil {
+				t.Fatalf("group=%d workers=%d: optimistic build has no group", group, workers)
+			}
+			if want := (8 + group - 1) / group; c.OptGroup.Shards() != want {
+				t.Fatalf("group=%d: %d shards, want %d", group, c.OptGroup.Shards(), want)
+			}
+			if done != refDone || sends != refSends {
+				t.Fatalf("group=%d workers=%d: done=%v sends=%d, want %v/%d",
+					group, workers, done, sends, refDone, refSends)
+			}
+			if len(times) != len(refTimes) {
+				t.Fatalf("group=%d workers=%d: %d calls, want %d", group, workers, len(times), len(refTimes))
+			}
+			for i := range times {
+				if times[i] != refTimes[i] {
+					t.Fatalf("group=%d workers=%d: call %d took %v, want %v",
+						group, workers, i, times[i], refTimes[i])
+				}
+			}
+			st := c.OptGroup.Stats()
+			if st.CommittedEvents == 0 || st.CommittedSegments == 0 {
+				t.Errorf("group=%d workers=%d: no committed events/segments: %+v", group, workers, st)
+			}
+			if st.SnapEntriesSkipped == 0 {
+				t.Errorf("group=%d workers=%d: dirty-tracking skipped nothing — incremental layers inactive", group, workers)
+			}
+		}
+	}
+}
+
+// TestOptimisticDeepRollbackDifferential forces deep rollbacks across the
+// dirty-tracked snapshot path and asserts byte-identity against the
+// reference heap core. The fabric latency is cut so segments are short, the
+// speculation window is pinned wide open (no adaptive de-escalation, no lite
+// rounds), and per-message jitter makes cross-shard arrival times hostile —
+// so committed history is routinely rewound several segments deep, which is
+// exactly where a partial restore that misses a dirtied entry, restores in
+// the wrong order, or leaks an armed record would surface as divergence.
+func TestOptimisticDeepRollbackDifferential(t *testing.T) {
+	const calls = 40
+	cfg := func(s int64) Config {
+		c := Vanilla(6, 8, s)
+		c.Network.Jitter = 3 * sim.Microsecond
+		c.Network.Latency = 6 * sim.Microsecond
+		return c
+	}
+	seeds := []int64{3, 11, 29}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		var refTimes []sim.Time
+		var refDone sim.Time
+		var refSends uint64
+		withCore(sim.CoreHeap, func() {
+			refTimes, refDone, refSends, _ = allreduceTrace(t, cfg(seed), calls)
+		})
+		for _, workers := range []int{1, 2, 4} {
+			withCore(sim.CoreOptimistic, func() {
+				ocfg := cfg(seed)
+				ocfg.IntraRunWorkers = workers
+				c := MustBuild(ocfg)
+				if c.OptGroup == nil {
+					t.Fatalf("seed=%d workers=%d: optimistic build has no group", seed, workers)
+				}
+				c.OptGroup.SetOptimism(16, 16)
+				p := newRank0Probe(c)
+				done, ok := c.Launch(p.program(calls), 10*sim.Minute)
+				if !ok {
+					t.Fatalf("seed=%d workers=%d: run did not complete", seed, workers)
+				}
+				if done != refDone || c.Job.P2PSends() != refSends {
+					t.Fatalf("seed=%d workers=%d: done=%v sends=%d, want %v/%d",
+						seed, workers, done, c.Job.P2PSends(), refDone, refSends)
+				}
+				if len(p.times) != len(refTimes) {
+					t.Fatalf("seed=%d workers=%d: %d calls, want %d", seed, workers, len(p.times), len(refTimes))
+				}
+				for i := range p.times {
+					if p.times[i] != refTimes[i] {
+						t.Fatalf("seed=%d workers=%d: call %d took %v, want %v",
+							seed, workers, i, p.times[i], refTimes[i])
+					}
+				}
+				st := c.OptGroup.Stats()
+				if st.Rollbacks == 0 || st.RolledBackEvents == 0 {
+					t.Errorf("seed=%d workers=%d: pinned-wide window produced no rollbacks: %+v",
+						seed, workers, st)
+				}
+				if st.SnapRestoreBytes == 0 {
+					t.Errorf("seed=%d workers=%d: rollbacks restored no incremental pre-images", seed, workers)
+				}
+				if st.SnapEntriesSkipped == 0 {
+					t.Errorf("seed=%d workers=%d: dirty-tracking skipped nothing", seed, workers)
+				}
+			})
+		}
+	}
+}
+
 // TestOptimisticGating verifies configurations the optimistic core cannot
 // shard fall back to the serial engine and still run correctly.
 func TestOptimisticGating(t *testing.T) {

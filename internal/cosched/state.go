@@ -8,6 +8,12 @@ import (
 // Optimistic-core checkpointing: each node's co-scheduler daemon state — the
 // window flag, registered processes, hint counters and the transition log —
 // is owned by that node's shard and must rewind with it.
+//
+// The layer stays a full-copy sim.ShardState: a nodeSched is a handful of
+// scalars plus a small registry, its mutation sites are scattered across
+// the period machinery, and the whole record costs less to copy than the
+// mpi layer's single-rank pre-image — dirty-tracking it would be all
+// bookkeeping, no savings.
 
 // procSnap is one registry entry at snapshot time.
 type procSnap struct {

@@ -55,6 +55,12 @@ type Options struct {
 	// only wall-clock and its distribution across runs change. 0 and 1
 	// keep runs on the serial engine.
 	ShardWorkers int
+	// ShardNodeGroup, when > 0, maps this many nodes onto each event shard
+	// under the sharded and optimistic cores (cluster.Config.ShardNodeGroup),
+	// overriding the automatic nodes/(4*workers) coarsening heuristic. 0
+	// keeps the heuristic. Outputs are bit-identical at any grouping; only
+	// per-shard work granularity and snapshot/rollback scope change.
+	ShardNodeGroup int
 	// Progress, when non-nil, receives one line per completed run. Under
 	// parallelism > 1 the callback is invoked from worker goroutines but
 	// never concurrently (calls are serialized); line order across runs
@@ -98,6 +104,9 @@ func (o Options) validate() error {
 	}
 	if o.ShardWorkers < 0 {
 		return fmt.Errorf("experiment: ShardWorkers must be >= 0 (0/1 = serial engine)")
+	}
+	if o.ShardNodeGroup < 0 {
+		return fmt.Errorf("experiment: ShardNodeGroup must be >= 0 (0 = automatic grouping)")
 	}
 	return nil
 }
@@ -178,7 +187,7 @@ func Registry() []Runner {
 		{"abl-gang", "Baseline: coarse-quantum gang scheduler (paper §6 category 1)", AblationGangScheduler},
 		{"abl-fairshare", "Baseline: fair-share usage decay (paper §6 category 3)", AblationFairShare},
 		{"abl-fault", "Ablation: fault rate x resilience policy (retry vs abort vs co-sched re-plan)", AblationFault},
-		{"huge", "Extended: vanilla and co-scheduled scaling to 1024 nodes / 16384 procs, paper-range fits extrapolated", HugeScaling},
+		{"huge", "Extended: vanilla, co-scheduled and tuned-ALE3D scaling to 1024 nodes / 16384 procs, paper-range fits extrapolated", HugeScaling},
 	}
 }
 

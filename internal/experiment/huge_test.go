@@ -19,12 +19,13 @@ func TestHugeScalingSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Paper anchors 8 and 16, one extended point at 24 nodes, for each of
-	// the vanilla and prototype configurations.
-	if len(tab.Rows) != 6 {
-		t.Fatalf("rows = %d, want 6:\n%+v", len(tab.Rows), tab.Rows)
+	// the vanilla, prototype and tuned-ALE3D configurations.
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9:\n%+v", len(tab.Rows), tab.Rows)
 	}
 	want := []string{"vanilla/paper", "vanilla/paper", "vanilla/huge",
-		"proto/paper", "proto/paper", "proto/huge"}
+		"proto/paper", "proto/paper", "proto/huge",
+		"ale3d/paper", "ale3d/paper", "ale3d/huge"}
 	for i, w := range want {
 		if tab.RowTags[i] != w {
 			t.Fatalf("row tags = %v, want %v", tab.RowTags, want)
@@ -42,20 +43,23 @@ func TestHugeScalingSmoke(t *testing.T) {
 			t.Fatalf("row %d: non-positive fit value %v", i, fit)
 		}
 	}
-	fits, ratio := 0, false
+	fits, protoRatio, ale3dRatio := 0, false, false
 	for _, n := range tab.Notes {
 		if strings.Contains(n, "paper-range fit") {
 			fits++
 		}
 		if strings.Contains(n, "slope ratio vanilla/proto") {
-			ratio = true
+			protoRatio = true
+		}
+		if strings.Contains(n, "slope ratio vanilla/ale3d") {
+			ale3dRatio = true
 		}
 	}
-	if fits != 2 {
+	if fits != 3 {
 		t.Fatalf("want one paper-range fit note per configuration in %v", tab.Notes)
 	}
-	if !ratio {
-		t.Fatalf("no slope-ratio note in %v", tab.Notes)
+	if !protoRatio || !ale3dRatio {
+		t.Fatalf("want a slope-ratio note per non-vanilla configuration in %v", tab.Notes)
 	}
 }
 

@@ -1,17 +1,30 @@
 package gpfs
 
-import "coschedsim/internal/sim"
+import (
+	"unsafe"
+
+	"coschedsim/internal/sim"
+)
 
 // Optimistic-core checkpointing: the service's buffer accounting, blocked
 // writer/reader queues and counters all mutate as events execute, so Time
 // Warp rollback must rewind them in lockstep with the kernel threads that
 // drive the worker loops. Thread state itself is the kernel layer's problem;
 // this layer covers only the Service.
+//
+// The layer is dirty-tracked at whole-service granularity
+// (sim.ShardStateIncremental): Save arms an empty pooled record, and the
+// first I/O or worker event of the segment copies the pre-image into it
+// (Service.touch on every mutating path). Application phases that do no I/O
+// — the common case between ALE3D's dump phases — speculate with zero
+// checkpoint traffic from this layer.
 
 // serviceSnap is one pooled checkpoint of a Service's mutable state. The
 // writer/reader queue entries are value copies; their wake funcs are bound
-// method values on threads whose state the kernel layer restores.
+// method values on threads whose state the kernel layer restores. filled
+// marks whether the armed record captured a pre-image.
 type serviceSnap struct {
+	filled   bool
 	claimed  float64
 	buffered float64
 	stalled  uint64
@@ -25,12 +38,60 @@ type serviceSnap struct {
 type serviceState struct {
 	s    *Service
 	pool []*serviceSnap
+
+	// cur is the armed record the first mutation fills; nil outside
+	// recording (serial cores, lite rounds, mid-rollback).
+	cur   *serviceSnap
+	stats sim.SnapshotStats
 }
 
 // ShardState returns a checkpointable view of the service for the optimistic
-// core. Register it with the engine of the shard that owns this node.
-func (s *Service) ShardState() sim.ShardState { return &serviceState{s: s} }
+// core, and wires the service's mutation paths to it. Register it with the
+// engine of the shard that owns this node.
+func (s *Service) ShardState() sim.ShardState {
+	st := &serviceState{s: s}
+	s.shardSt = st
+	return st
+}
 
+// touch fills the armed record with the service's pre-image before the first
+// mutation of the current segment.
+func (s *Service) touch() {
+	if st := s.shardSt; st != nil && st.cur != nil && !st.cur.filled {
+		st.fill()
+	}
+}
+
+// serviceSnapBytes estimates the bytes a filled record copied.
+func serviceSnapBytes(sn *serviceSnap) uint64 {
+	return uint64(unsafe.Sizeof(serviceSnap{})) +
+		uint64(len(sn.idle))*uint64(unsafe.Sizeof(false)) +
+		uint64(len(sn.writers))*uint64(unsafe.Sizeof(writer{})) +
+		uint64(len(sn.readers))*uint64(unsafe.Sizeof(reader{}))
+}
+
+// fill is touch's slow path: copy the service into the armed record.
+func (st *serviceState) fill() {
+	sn := st.cur
+	sn.filled = true
+	s := st.s
+	sn.claimed, sn.buffered = s.claimed, s.buffered
+	sn.stalled, sn.stat, sn.stopFlag = s.stalled, s.stat, s.stopFlag
+	sn.idle = append(sn.idle[:0], s.idle...)
+	sn.writers = append(sn.writers[:0], s.writers...)
+	sn.readers = append(sn.readers[:0], s.readers...)
+	st.stats.EntriesSaved++
+	st.stats.EntriesSkipped--
+	st.stats.SaveBytes += serviceSnapBytes(sn)
+}
+
+// Incremental marks the layer as dirty-tracked (sim.ShardStateIncremental).
+func (st *serviceState) Incremental() {}
+
+// SnapshotStats reports the layer's cumulative checkpoint traffic.
+func (st *serviceState) SnapshotStats() sim.SnapshotStats { return st.stats }
+
+// Save arms a pooled empty record for the opening segment: O(1).
 func (st *serviceState) Save() any {
 	var sn *serviceSnap
 	if n := len(st.pool); n > 0 {
@@ -40,27 +101,34 @@ func (st *serviceState) Save() any {
 	} else {
 		sn = &serviceSnap{}
 	}
-	s := st.s
-	sn.claimed, sn.buffered = s.claimed, s.buffered
-	sn.stalled, sn.stat, sn.stopFlag = s.stalled, s.stat, s.stopFlag
-	sn.idle = append(sn.idle[:0], s.idle...)
-	sn.writers = append(sn.writers[:0], s.writers...)
-	sn.readers = append(sn.readers[:0], s.readers...)
+	st.cur = sn
+	st.stats.EntriesSkipped++
 	return sn
 }
 
 func (st *serviceState) Restore(snap any) {
 	sn := snap.(*serviceSnap)
+	if sn == st.cur {
+		st.cur = nil
+	}
+	if !sn.filled {
+		return // the segment did no I/O and ran no worker
+	}
 	s := st.s
 	s.claimed, s.buffered = sn.claimed, sn.buffered
 	s.stalled, s.stat, s.stopFlag = sn.stalled, sn.stat, sn.stopFlag
 	s.idle = append(s.idle[:0], sn.idle...)
 	s.writers = append(s.writers[:0], sn.writers...)
 	s.readers = append(s.readers[:0], sn.readers...)
+	st.stats.RestoreBytes += serviceSnapBytes(sn)
 }
 
 func (st *serviceState) Release(snap any) {
 	sn := snap.(*serviceSnap)
+	if sn == st.cur {
+		st.cur = nil
+	}
+	sn.filled = false
 	for i := range sn.writers {
 		sn.writers[i].wake = nil
 	}

@@ -12,6 +12,12 @@ import "coschedsim/internal/sim"
 // fired and canceled Event records on the speculation segment instead of
 // recycling them, and its own rollback revives each at its original (when,
 // seq) queue position before layer Restore runs.
+//
+// This layer deliberately stays a full-copy sim.ShardState rather than a
+// dirty-tracked sim.ShardStateIncremental: the per-CPU scheduler tick
+// recurs faster than any speculation segment is long, so every node's
+// accounting is dirty in every segment and copy-before-first-write would
+// pay the same copy plus the tracking overhead.
 
 // threadSnap is one thread's mutable state.
 type threadSnap struct {

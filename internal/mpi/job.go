@@ -246,6 +246,7 @@ func (r *Rank) newDelivery(target *Rank, key msgKey, msg message) *delivery {
 		d.release = func() {
 			t := d.target
 			d.target = nil
+			t.touch() // commit-time pool return still dirties the receiver
 			t.deliveryPool = append(t.deliveryPool, d)
 		}
 		d.fire = func() {
@@ -409,6 +410,7 @@ func (j *Job) rankDone(r *Rank) {
 		r.progress.Kill()
 	}
 	eng := r.node.Engine()
+	r.touch() // rankDone's callers (Done, fail) already dirtied r; keep it safe standalone
 	r.doneAt = eng.Now()
 	eng.DeferToCommit(r.commitDone)
 }

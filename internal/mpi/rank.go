@@ -122,12 +122,21 @@ type Rank struct {
 
 	collSeq int
 	done    bool
+
+	// Dirty-tracking for the optimistic core's incremental checkpoints:
+	// shardSt is the owning node's jobState layer (nil off the optimistic
+	// core), snapEpoch the last layer epoch this rank's pre-image was logged
+	// under. See Rank.touch in state.go; every mutating path below runs it
+	// before the first write.
+	shardSt   *jobState
+	snapEpoch uint64
 }
 
 // bindHotPaths builds the per-rank continuations reused by every Send/Recv.
 // Called from Launch, once the rank array can no longer move.
 func (r *Rank) bindHotPaths() {
 	r.recvDone = func() {
+		r.touch()
 		then, v := r.recvThen, r.recvGot.value
 		r.recvThen = nil
 		then(v)
@@ -136,6 +145,7 @@ func (r *Rank) bindHotPaths() {
 		r.thread.Run(r.job.cfg.RecvOverhead, r.recvDone)
 	}
 	r.sendStep = func() {
+		r.touch()
 		dst, tag, then := r.sendDst, r.sendTag, r.sendThen
 		msg := message{value: r.sendValue, bytes: r.sendBytes}
 		r.sendThen = nil
@@ -150,6 +160,7 @@ func (r *Rank) bindHotPaths() {
 		then()
 	}
 	r.srRecvStep = func() {
+		r.touch()
 		then := r.srThen
 		r.srThen = nil
 		r.Recv(r.srPeer, r.srTag, then)
@@ -185,6 +196,7 @@ func (r *Rank) sendAttempt(target *Rank, bytes int, idx, attempt uint64, deliver
 		return
 	}
 	j.fabric.Drop(r.node.ID(), target.node.ID(), bytes)
+	r.touch()
 	r.dropped++
 	if attempt >= uint64(j.cfg.SendRetries) {
 		j.abortFrom(eng)
@@ -205,6 +217,7 @@ func (r *Rank) fail(lost bool) {
 	if r.done {
 		return
 	}
+	r.touch()
 	r.done = true
 	r.failed = true
 	r.failLost = lost
@@ -264,6 +277,7 @@ func (r *Rank) Done() {
 	if r.done {
 		panic(fmt.Sprintf("mpi: rank %d Done twice", r.id))
 	}
+	r.touch()
 	r.done = true
 	r.job.rankDone(r)
 	r.thread.Exit()
@@ -324,6 +338,7 @@ func (r *Rank) Send(dst, tag int, value float64, bytes int, then func()) {
 	if dst < 0 || dst >= len(r.job.ranks) {
 		panic(fmt.Sprintf("mpi: rank %d Send to invalid rank %d", r.id, dst))
 	}
+	r.touch()
 	r.sendDst, r.sendTag, r.sendValue, r.sendBytes, r.sendThen = dst, tag, value, bytes, then
 	r.thread.Run(r.job.cfg.SendOverhead, r.sendStep)
 }
@@ -348,6 +363,7 @@ func (r *Rank) takePending(key msgKey) (message, bool) {
 // otherwise the task blocks (the progress engine and scheduler decide when
 // it runs again — this is precisely where OS noise injects latency).
 func (r *Rank) Recv(src, tag int, then func(value float64)) {
+	r.touch() // covers takePending's list shift and the arm/stage writes below
 	key := msgKey{src: src, tag: tag}
 	if msg, ok := r.takePending(key); ok {
 		r.recvGot, r.recvThen = msg, then
@@ -370,6 +386,7 @@ func (r *Rank) Recv(src, tag int, then func(value float64)) {
 // deliver runs at message arrival (interrupt context): hand the payload to
 // a matching blocked receive, or queue it as an early arrival.
 func (r *Rank) deliver(key msgKey, msg message) {
+	r.touch()
 	if r.recvArmed && r.recvKey == key {
 		r.recvArmed = false
 		r.recvGot = msg
@@ -386,6 +403,7 @@ func (r *Rank) deliver(key msgKey, msg message) {
 // SendRecv exchanges with a partner: post the send, then wait for the
 // partner's message (the building block of recursive doubling).
 func (r *Rank) SendRecv(peer, tag int, value float64, bytes int, then func(recv float64)) {
+	r.touch()
 	r.srPeer, r.srTag, r.srThen = peer, tag, then
 	r.Send(peer, tag, value, bytes, r.srRecvStep)
 }

@@ -1,28 +1,43 @@
 package mpi
 
 import (
+	"unsafe"
+
 	"coschedsim/internal/kernel"
 	"coschedsim/internal/sim"
 )
 
-// Optimistic-core checkpointing. A rank's library state — early-arrival
-// lists, the staged point-to-point arguments, the collective state machine's
-// round variables, fault counters — mutates on every message, so the Time
-// Warp core must rewind it with the owning node's shard. The layer is per
-// node: it snapshots every rank placed on that node, keeping each rank's
-// state strictly on the shard that executes its events.
+// Optimistic-core checkpointing, dirty-tracked. A rank's library state —
+// early-arrival lists, the staged point-to-point arguments, the collective
+// state machine's round variables, fault counters — mutates on every
+// message, so the Time Warp core must rewind it with the owning node's
+// shard. The layer is per node: it covers every rank placed on that node,
+// keeping each rank's state strictly on the shard that executes its events.
+//
+// The layer implements sim.ShardStateIncremental: Save is O(1) — it arms an
+// empty pooled record and bumps the layer epoch — and the first mutation of
+// each rank per segment logs that rank's pre-image into the armed record
+// (copy-before-first-write, via Rank.touch at the top of every mutating
+// path). A 16-way node whose segment moved one rank checkpoints one rank,
+// not sixteen. Rollback applies every rolled segment's record newest-first,
+// rewinding exactly the ranks each segment dirtied; ranks no segment touched
+// are left alone, which is what the old full-copy restore wrote back anyway.
 //
 // Job-wide accounting (the finished/lastDone/failed/... atomics) is
-// deliberately NOT snapshot here: those counters are shared across shards,
+// deliberately NOT covered here: those counters are shared across shards,
 // so rank.go routes their updates through Engine.DeferToCommit instead — a
-// rolled-back completion or failure never reaches them.
+// rolled-back completion or failure never reaches them. Commit-deferred
+// actions that do land on a rank (the delivery-record pool return) run
+// Rank.touch like any other mutator; logging a committed pool append into
+// the armed record merely means a later rollback rewinds it — exactly what
+// the full-copy snapshot did — and costs at most one pooled record's churn.
 //
 // The collective state machine's bound continuations (collState.ar*/b*) are
 // not saved either: binding happens once on first use, and the closures are
 // pure functions of the stable rank pointer, so a rollback across the first
 // binding just leaves equivalent closures in place for the re-execution.
 
-// rankSnap is one rank's mutable state at snapshot time. pending and
+// rankSnap is one rank's mutable state at pre-image time. pending and
 // deliveryPool entries are value/pointer copies into reused backing arrays;
 // vector payloads are immutable once sent, so sharing them is safe.
 type rankSnap struct {
@@ -63,20 +78,40 @@ type rankSnap struct {
 	done         bool
 }
 
-// jobSnap is one pooled checkpoint of a node's ranks.
+// rankSnapBytes estimates the bytes a pre-image copied: the fixed record
+// plus the variable-length list contents.
+func rankSnapBytes(s *rankSnap) uint64 {
+	return uint64(unsafe.Sizeof(rankSnap{})) +
+		uint64(len(s.pending))*uint64(unsafe.Sizeof(arrival{})) +
+		uint64(len(s.vecPending))*uint64(unsafe.Sizeof(vecArrival{})) +
+		uint64(len(s.deliveryPool))*uint64(unsafe.Sizeof((*delivery)(nil)))
+}
+
+// jobSnap is one pooled partial checkpoint: the ranks dirtied under it (in
+// first-touch order) and their pre-images. Backing arrays — including each
+// pre-image's list storage — are reused across epochs.
 type jobSnap struct {
-	ranks []rankSnap
+	dirty []*Rank
+	pre   []rankSnap
 }
 
 type jobState struct {
 	ranks []*Rank
 	pool  []*jobSnap
+
+	// cur is the armed record mutators log pre-images into; nil outside
+	// recording (serial cores, lite rounds, mid-rollback). epoch stamps
+	// ranks already logged so each pays at most one copy per segment.
+	cur   *jobSnap
+	epoch uint64
+	stats sim.SnapshotStats
 }
 
 // StateForNode returns a checkpointable view of every rank placed on node n,
 // for registration with the engine of the shard that owns the node. Must be
 // called after Launch: rank pointers are stable only once the array is
-// frozen.
+// frozen. The returned layer is incremental (see sim.ShardStateIncremental);
+// registering it wires each covered rank's mutation paths to it.
 func (j *Job) StateForNode(n *kernel.Node) sim.ShardState {
 	if !j.launched {
 		panic("mpi: StateForNode before Launch")
@@ -85,9 +120,38 @@ func (j *Job) StateForNode(n *kernel.Node) sim.ShardState {
 	for i := range j.ranks {
 		if j.ranks[i].node == n {
 			st.ranks = append(st.ranks, &j.ranks[i])
+			j.ranks[i].shardSt = st
 		}
 	}
 	return st
+}
+
+// touch logs r's pre-image into the owning layer's armed record before the
+// first mutation of the current segment (copy-before-first-write). Every
+// path that mutates rank state runs it first; it is a two-load no-op when
+// the rank is not under an optimistic shard or the layer is not recording,
+// and an epoch compare when the rank is already dirty this segment.
+func (r *Rank) touch() {
+	if st := r.shardSt; st != nil && st.cur != nil && r.snapEpoch != st.epoch {
+		st.logPreImage(r)
+	}
+}
+
+// logPreImage is touch's slow path: copy r into the armed record.
+func (st *jobState) logPreImage(r *Rank) {
+	r.snapEpoch = st.epoch
+	sn := st.cur
+	n := len(sn.dirty)
+	sn.dirty = append(sn.dirty, r)
+	if n < cap(sn.pre) {
+		sn.pre = sn.pre[:n+1]
+	} else {
+		sn.pre = append(sn.pre, rankSnap{})
+	}
+	saveRank(&sn.pre[n], r)
+	st.stats.EntriesSaved++
+	st.stats.EntriesSkipped--
+	st.stats.SaveBytes += rankSnapBytes(&sn.pre[n])
 }
 
 func saveRank(s *rankSnap, r *Rank) {
@@ -126,6 +190,14 @@ func restoreRank(r *Rank, s *rankSnap) {
 	r.doneAt, r.collSeq, r.done = s.doneAt, s.collSeq, s.done
 }
 
+// Incremental marks the layer as dirty-tracked (sim.ShardStateIncremental).
+func (st *jobState) Incremental() {}
+
+// SnapshotStats reports the layer's cumulative checkpoint traffic.
+func (st *jobState) SnapshotStats() sim.SnapshotStats { return st.stats }
+
+// Save arms a pooled empty record for the opening segment: O(1). Pre-images
+// accrue as the segment's events dirty ranks.
 func (st *jobState) Save() any {
 	var sn *jobSnap
 	if k := len(st.pool); k > 0 {
@@ -133,25 +205,40 @@ func (st *jobState) Save() any {
 		st.pool[k-1] = nil
 		st.pool = st.pool[:k-1]
 	} else {
-		sn = &jobSnap{ranks: make([]rankSnap, len(st.ranks))}
+		sn = &jobSnap{}
 	}
-	for i, r := range st.ranks {
-		saveRank(&sn.ranks[i], r)
-	}
+	st.cur = sn
+	st.epoch++
+	st.stats.EntriesSkipped += uint64(len(st.ranks))
 	return sn
 }
 
+// Restore applies a record's pre-images, rewinding exactly the ranks its
+// segment dirtied. The group applies every rolled segment's record newest
+// first (the incremental contract). Restoring the armed record disarms
+// recording: the rollback's own writes must not be logged, and the next
+// segment re-arms with a fresh Save.
 func (st *jobState) Restore(snap any) {
 	sn := snap.(*jobSnap)
-	for i, r := range st.ranks {
-		restoreRank(r, &sn.ranks[i])
+	if sn == st.cur {
+		st.cur = nil
+	}
+	for i, r := range sn.dirty {
+		restoreRank(r, &sn.pre[i])
+		st.stats.RestoreBytes += rankSnapBytes(&sn.pre[i])
 	}
 }
 
+// Release clears a record and returns it to the pool, dropping the function
+// and payload references its pre-images pinned. Releasing the armed record
+// (an untouched segment committing, or a rollback fossil) disarms recording.
 func (st *jobState) Release(snap any) {
 	sn := snap.(*jobSnap)
-	for i := range sn.ranks {
-		s := &sn.ranks[i]
+	if sn == st.cur {
+		st.cur = nil
+	}
+	for i := range sn.pre[:len(sn.dirty)] {
+		s := &sn.pre[i]
 		s.recvThen, s.sendThen, s.srThen = nil, nil, nil
 		s.collThen, s.collBThen = nil, nil
 		s.pending = s.pending[:0]
@@ -164,5 +251,10 @@ func (st *jobState) Release(snap any) {
 		}
 		s.deliveryPool = s.deliveryPool[:0]
 	}
+	for i := range sn.dirty {
+		sn.dirty[i] = nil
+	}
+	sn.dirty = sn.dirty[:0]
+	sn.pre = sn.pre[:0]
 	st.pool = append(st.pool, sn)
 }

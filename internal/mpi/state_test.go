@@ -1,0 +1,166 @@
+package mpi
+
+import (
+	"testing"
+
+	"coschedsim/internal/kernel"
+	"coschedsim/internal/network"
+	"coschedsim/internal/sim"
+)
+
+// stateHarness builds a 4-rank single-node job and returns its incremental
+// layer, driving the save/touch/restore/release protocol directly — the same
+// calls the optimistic core makes, without the core in the loop.
+func stateHarness(t *testing.T) *jobState {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	fabric := network.MustFabric(eng, network.DefaultConfig())
+	node := kernel.MustNode(eng, 0, kernel.VanillaOptions(4))
+	node.Start()
+	job := MustJob(eng, fabric, quietConfig(), nil)
+	for i := 0; i < 4; i++ {
+		job.AddRank(node, i)
+	}
+	job.Launch(func(r *Rank) {})
+	st, ok := job.StateForNode(node).(*jobState)
+	if !ok {
+		t.Fatal("StateForNode did not return the incremental layer")
+	}
+	if len(st.ranks) != 4 {
+		t.Fatalf("layer covers %d ranks, want 4", len(st.ranks))
+	}
+	var iface sim.ShardState = st
+	if _, ok := iface.(sim.ShardStateIncremental); !ok {
+		t.Fatal("jobState does not implement ShardStateIncremental")
+	}
+	return st
+}
+
+// TestJobStatePartialSnapshot pins the copy-before-first-write protocol on
+// the rank SoA layer: Save arms an empty record, the first touch of a rank
+// per epoch logs exactly one pre-image, repeated touches are no-ops, and
+// Restore rewinds only the dirtied ranks and disarms recording.
+func TestJobStatePartialSnapshot(t *testing.T) {
+	st := stateHarness(t)
+	r, other := st.ranks[1], st.ranks[2]
+	other.p2pSends = 5 // pre-segment state of an untouched rank
+
+	sn := st.Save().(*jobSnap)
+	if st.cur != sn {
+		t.Fatal("Save did not arm the record")
+	}
+	if got := st.stats.EntriesSkipped; got != 4 {
+		t.Fatalf("EntriesSkipped = %d after Save, want 4", got)
+	}
+	if len(sn.dirty) != 0 {
+		t.Fatalf("armed record already has %d dirty entries", len(sn.dirty))
+	}
+
+	r.touch()
+	r.p2pSends, r.collSeq = 7, 3
+	r.pending = append(r.pending, arrival{key: msgKey{src: 0, tag: 9}})
+	r.touch() // same epoch: must not log a second pre-image
+	if len(sn.dirty) != 1 || sn.dirty[0] != r {
+		t.Fatalf("dirty list = %v entries, want exactly the touched rank", len(sn.dirty))
+	}
+	if st.stats.EntriesSaved != 1 || st.stats.EntriesSkipped != 3 {
+		t.Fatalf("stats saved/skipped = %d/%d, want 1/3", st.stats.EntriesSaved, st.stats.EntriesSkipped)
+	}
+	if st.stats.SaveBytes == 0 {
+		t.Fatal("SaveBytes not accounted")
+	}
+
+	st.Restore(sn)
+	if st.cur != nil {
+		t.Fatal("Restore of the armed record did not disarm recording")
+	}
+	if r.p2pSends != 0 || r.collSeq != 0 || len(r.pending) != 0 {
+		t.Fatalf("touched rank not rewound: sends=%d collSeq=%d pending=%d",
+			r.p2pSends, r.collSeq, len(r.pending))
+	}
+	if other.p2pSends != 5 {
+		t.Fatalf("untouched rank mutated by partial restore: sends=%d", other.p2pSends)
+	}
+	if st.stats.RestoreBytes == 0 {
+		t.Fatal("RestoreBytes not accounted")
+	}
+	// Disarmed: further mutation paths must not log.
+	r.touch()
+	if len(sn.dirty) != 1 {
+		t.Fatal("touch after disarm logged a pre-image")
+	}
+}
+
+// TestJobStateDeepRollbackRestore pins the multi-segment contract: the group
+// applies every rolled segment's record newest first, so a rank dirtied in
+// consecutive segments steps back through its pre-images to the oldest
+// segment's boundary.
+func TestJobStateDeepRollbackRestore(t *testing.T) {
+	st := stateHarness(t)
+	r := st.ranks[0]
+
+	snA := st.Save().(*jobSnap) // segment A: pre-image sends=0
+	r.touch()
+	r.p2pSends = 1
+	snB := st.Save().(*jobSnap) // segment B: pre-image sends=1
+	r.touch()
+	r.p2pSends = 2
+
+	if snA == snB {
+		t.Fatal("consecutive saves returned the same record")
+	}
+	if len(snA.dirty) != 1 || len(snB.dirty) != 1 {
+		t.Fatalf("dirty lists = %d/%d entries, want 1/1 (epoch bump must re-log)",
+			len(snA.dirty), len(snB.dirty))
+	}
+	st.Restore(snB)
+	if r.p2pSends != 1 {
+		t.Fatalf("after newest restore sends = %d, want 1", r.p2pSends)
+	}
+	st.Restore(snA)
+	if r.p2pSends != 0 {
+		t.Fatalf("after oldest restore sends = %d, want 0", r.p2pSends)
+	}
+	st.Release(snB)
+	st.Release(snA)
+	if len(st.pool) != 2 {
+		t.Fatalf("pool holds %d records after release, want 2", len(st.pool))
+	}
+}
+
+// TestJobStateReleaseRecycles pins pooling and the untouched-segment fast
+// path: releasing a record clears its pre-image references and returns it to
+// the pool, the next Save reuses it, and a segment that touches nothing
+// commits (or rolls back) with an empty record.
+func TestJobStateReleaseRecycles(t *testing.T) {
+	st := stateHarness(t)
+	r := st.ranks[3]
+
+	sn := st.Save().(*jobSnap)
+	r.touch()
+	r.recvThen = func(float64) {}
+	r.p2pSends = 9
+	st.Release(sn) // commit: fossil-collect the record
+	if st.cur != nil {
+		t.Fatal("Release of the armed record did not disarm")
+	}
+	if len(sn.dirty) != 0 || len(sn.pre) != 0 {
+		t.Fatalf("released record kept %d dirty / %d pre entries", len(sn.dirty), len(sn.pre))
+	}
+	if r.p2pSends != 9 {
+		t.Fatal("Release must not rewind state")
+	}
+
+	sn2 := st.Save().(*jobSnap)
+	if sn2 != sn {
+		t.Fatal("Save did not recycle the pooled record")
+	}
+	// Untouched segment: restore is a no-op on every rank.
+	st.Restore(sn2)
+	if r.p2pSends != 9 {
+		t.Fatal("restore of an untouched segment mutated a rank")
+	}
+	if st.stats.EntriesSaved != 1 {
+		t.Fatalf("EntriesSaved = %d, want 1 (second segment touched nothing)", st.stats.EntriesSaved)
+	}
+}

@@ -33,10 +33,12 @@ func (r *Rank) sendVec(dst, tag int, vec []float64, then func()) {
 	copy(payload, vec)
 	bytes := len(vec) * r.job.cfg.ElemBytes
 	r.thread.Run(r.job.cfg.SendOverhead, func() {
+		r.touch()
 		r.p2pSends++
 		target := &r.job.ranks[dst]
 		key := msgKey{src: r.id, tag: tag}
 		deliver := func() {
+			target.touch() // runs on target's shard: side-table append dirties it
 			target.vecPending = append(target.vecPending, vecArrival{key: key, vec: payload})
 			target.deliver(key, message{bytes: bytes})
 		}
@@ -52,6 +54,7 @@ func (r *Rank) sendVec(dst, tag int, vec []float64, then func()) {
 func (r *Rank) recvVec(src, tag int, then func(vec []float64)) {
 	key := msgKey{src: src, tag: tag}
 	r.Recv(src, tag, func(float64) {
+		r.touch() // the side-table shift below mutates r in a later event
 		for i := range r.vecPending {
 			if r.vecPending[i].key == key {
 				vec := r.vecPending[i].vec

@@ -7,6 +7,12 @@ import "coschedsim/internal/sim"
 // each row is only ever written by the shard that owns the source node — so a
 // per-shard ShardState over the owned rows makes fabric accounting exactly
 // rewindable under Time Warp rollback.
+//
+// The layer stays a full-copy sim.ShardState: segments span one fabric
+// lookahead, and a shard only speculates when it has traffic in flight, so
+// the owned rows are nearly always dirty when a snapshot is taken and the
+// rows themselves are a few counters each — dirty-tracking would add
+// bookkeeping without skipping meaningful copies.
 
 // fabricSnap is one pooled checkpoint of a shard's fabric rows.
 type fabricSnap struct {

@@ -160,6 +160,10 @@ type Set struct {
 	// counters and batch cursors on rollback.
 	rngs []*sim.CounterRand
 	irqs []*irqSource
+
+	// shardSt is the optimistic core's checkpoint view; nil under serial
+	// and conservative cores. See state.go.
+	shardSt *setState
 }
 
 // Attach launches the configured daemons, cron job and interrupt sources on
@@ -215,6 +219,7 @@ func (s *Set) launchDaemon(spec DaemonSpec, idx, gen, homeCPU int) *kernel.Threa
 	s.rngs = append(s.rngs, rng)
 	var cycle func()
 	cycle = func() {
+		s.touch() // the draws below advance this daemon's stream
 		if s.stopped {
 			th.Exit()
 			return
@@ -224,6 +229,7 @@ func (s *Set) launchDaemon(spec DaemonSpec, idx, gen, homeCPU int) *kernel.Threa
 			burst += spec.PageFaultCost
 		}
 		th.Run(burst, func() {
+			s.touch() // the period draw runs in a later event than cycle's
 			th.Sleep(rng.Jitter(spec.Period, spec.PeriodJitter), cycle)
 		})
 	}
@@ -255,6 +261,7 @@ func (s *Set) Respawn(idx int) *kernel.Thread {
 	if cur := s.daemons[idx]; cur != nil && cur.State() != kernel.StateExited {
 		return nil
 	}
+	s.touch() // generation bump plus launchDaemon's thread/rng appends
 	s.gens[idx]++
 	th := s.launchDaemon(s.specs[idx], idx, s.gens[idx], idx%s.node.NumCPUs())
 	s.daemons[idx] = th
@@ -271,6 +278,7 @@ func (s *Set) launchCron(spec CronSpec) {
 	s.threads = append(s.threads, th)
 	var cycle func()
 	cycle = func() {
+		s.touch()
 		if s.stopped {
 			th.Exit()
 			return
@@ -352,6 +360,7 @@ func (s *Set) launchInterrupts(spec InterruptSpec, idx, batch int) {
 		if s.stopped {
 			return sim.RecurStop
 		}
+		s.touch() // nextCPU/nextGap advance the source's cursor and stream
 		s.node.InjectInterrupt(src.nextCPU(), spec.HandlerCost)
 		return eng.Now() + src.nextGap()
 	})
@@ -360,6 +369,7 @@ func (s *Set) launchInterrupts(spec InterruptSpec, idx, batch int) {
 // Stop halts all noise immediately: daemon threads are killed in whatever
 // state they are in and interrupt sources disarm at their next firing.
 func (s *Set) Stop() {
+	s.touch()
 	s.stopped = true
 	for _, th := range s.threads {
 		if th.State() != kernel.StateExited {

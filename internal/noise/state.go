@@ -1,15 +1,27 @@
 package noise
 
 import (
+	"unsafe"
+
 	"coschedsim/internal/kernel"
 	"coschedsim/internal/sim"
 )
 
-// Optimistic-core checkpointing. A Set's mutable state is small but subtle:
-// every daemon's jitter stream advances a draw counter per activation, the
-// interrupt sources keep batch cursors, and fault respawns append new
-// incarnations. Rollback must rewind all of it or re-executed history would
-// sample shifted random sequences.
+// Optimistic-core checkpointing, dirty-tracked at whole-set granularity. A
+// Set's mutable state is small but subtle: every daemon's jitter stream
+// advances a draw counter per activation, the interrupt sources keep batch
+// cursors, and fault respawns append new incarnations. Rollback must rewind
+// all of it or re-executed history would sample shifted random sequences.
+//
+// The layer implements sim.ShardStateIncremental with one entry — the Set.
+// Save arms an empty pooled record (O(1)); the first noise activation of the
+// segment copies the set's pre-image into it (Set.touch at every mutating
+// path). Noise periods are long — daemons wake every 1-60 seconds, cron
+// every 15 minutes — while speculation segments span one fabric lookahead
+// (microseconds), so the overwhelming majority of segments never fire a
+// noise event and now checkpoint nothing. Entry-level tracking inside the
+// set is not worth the bookkeeping: one activation's draw already dirties
+// the hot parts, and the whole record is a few hundred bytes.
 
 // irqSnap is one interrupt source's cursor state. The batch contents are
 // copied too: a rollback across a refill boundary must restore the batch the
@@ -21,8 +33,11 @@ type irqSnap struct {
 	cpus []int
 }
 
-// setSnap is one pooled checkpoint of a Set.
+// setSnap is one pooled checkpoint of a Set. filled marks whether the
+// armed record ever captured a pre-image (untouched segments commit and
+// roll back for free).
 type setSnap struct {
+	filled      bool
 	threadsLen  int
 	cronFirings int
 	stopped     bool
@@ -35,21 +50,47 @@ type setSnap struct {
 type setState struct {
 	s    *Set
 	pool []*setSnap
+
+	// cur is the armed record the first mutation fills; nil outside
+	// recording (serial cores, lite rounds, mid-rollback).
+	cur   *setSnap
+	stats sim.SnapshotStats
 }
 
 // ShardState returns a checkpointable view of the noise set for the
-// optimistic core.
-func (s *Set) ShardState() sim.ShardState { return &setState{s: s} }
+// optimistic core, and wires the set's mutation paths to it.
+func (s *Set) ShardState() sim.ShardState {
+	st := &setState{s: s}
+	s.shardSt = st
+	return st
+}
 
-func (st *setState) Save() any {
-	var sn *setSnap
-	if k := len(st.pool); k > 0 {
-		sn = st.pool[k-1]
-		st.pool[k-1] = nil
-		st.pool = st.pool[:k-1]
-	} else {
-		sn = &setSnap{}
+// touch fills the armed record with the set's pre-image before the first
+// mutation of the current segment. Every mutating path runs it first.
+func (s *Set) touch() {
+	if st := s.shardSt; st != nil && st.cur != nil && !st.cur.filled {
+		st.fill()
 	}
+}
+
+// snapBytes estimates the bytes a filled record copied.
+func snapBytes(sn *setSnap) uint64 {
+	b := uint64(unsafe.Sizeof(setSnap{})) +
+		uint64(len(sn.daemons))*uint64(unsafe.Sizeof((*kernel.Thread)(nil))) +
+		uint64(len(sn.gens))*uint64(unsafe.Sizeof(int(0))) +
+		uint64(len(sn.rngs))*uint64(unsafe.Sizeof(sim.CounterRand{}))
+	for i := range sn.irqs {
+		b += uint64(unsafe.Sizeof(irqSnap{})) +
+			uint64(len(sn.irqs[i].gaps))*uint64(unsafe.Sizeof(sim.Time(0))) +
+			uint64(len(sn.irqs[i].cpus))*uint64(unsafe.Sizeof(int(0)))
+	}
+	return b
+}
+
+// fill is touch's slow path: copy the set into the armed record.
+func (st *setState) fill() {
+	sn := st.cur
+	sn.filled = true
 	s := st.s
 	sn.threadsLen = len(s.threads)
 	sn.cronFirings, sn.stopped = s.CronFirings, s.stopped
@@ -69,11 +110,40 @@ func (st *setState) Save() any {
 		is.gaps = append(is.gaps[:0], q.gaps...)
 		is.cpus = append(is.cpus[:0], q.cpus...)
 	}
+	st.stats.EntriesSaved++
+	st.stats.EntriesSkipped--
+	st.stats.SaveBytes += snapBytes(sn)
+}
+
+// Incremental marks the layer as dirty-tracked (sim.ShardStateIncremental).
+func (st *setState) Incremental() {}
+
+// SnapshotStats reports the layer's cumulative checkpoint traffic.
+func (st *setState) SnapshotStats() sim.SnapshotStats { return st.stats }
+
+// Save arms a pooled empty record for the opening segment: O(1).
+func (st *setState) Save() any {
+	var sn *setSnap
+	if k := len(st.pool); k > 0 {
+		sn = st.pool[k-1]
+		st.pool[k-1] = nil
+		st.pool = st.pool[:k-1]
+	} else {
+		sn = &setSnap{}
+	}
+	st.cur = sn
+	st.stats.EntriesSkipped++
 	return sn
 }
 
 func (st *setState) Restore(snap any) {
 	sn := snap.(*setSnap)
+	if sn == st.cur {
+		st.cur = nil
+	}
+	if !sn.filled {
+		return // the segment never fired a noise event
+	}
 	s := st.s
 	for i := sn.threadsLen; i < len(s.threads); i++ {
 		s.threads[i] = nil
@@ -96,10 +166,15 @@ func (st *setState) Restore(snap any) {
 		q.gaps = append(q.gaps[:0], is.gaps...)
 		q.cpus = append(q.cpus[:0], is.cpus...)
 	}
+	st.stats.RestoreBytes += snapBytes(sn)
 }
 
 func (st *setState) Release(snap any) {
 	sn := snap.(*setSnap)
+	if sn == st.cur {
+		st.cur = nil
+	}
+	sn.filled = false
 	for i := range sn.daemons {
 		sn.daemons[i] = nil
 	}

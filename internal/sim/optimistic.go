@@ -70,6 +70,50 @@ type ShardState interface {
 	Release(snap any)
 }
 
+// ShardStateIncremental marks a ShardState whose snapshots are dirty-tracked
+// partial records rather than full copies. Semantics:
+//
+//   - Save returns an empty "armed" record and puts the layer into recording
+//     mode for it: the first mutation of each entry after Save logs that
+//     entry's pre-image into the record (copy-before-first-write). Save is
+//     therefore O(1); cost is paid only for entries that actually change.
+//   - Restore applies a record's pre-images, rewinding exactly the entries
+//     its segment touched. Because a record holds only its own segment's
+//     deltas, rolling back several segments requires Restore on EVERY rolled
+//     segment's record, newest first — unlike full-copy layers, where
+//     restoring the oldest record alone rewinds everything. The group's
+//     rollback path dispatches on this interface to do exactly that.
+//   - Restore or Release of the currently armed record disarms recording
+//     (subsequent mutations are no longer logged until the next Save).
+//
+// Incremental is a marker method; it is never called.
+type ShardStateIncremental interface {
+	ShardState
+	Incremental()
+}
+
+// SnapshotStats counts a layer's checkpoint traffic, for ShardStateMetrics.
+type SnapshotStats struct {
+	// SaveBytes estimates bytes copied into snapshot records by Save (and,
+	// for incremental layers, by pre-image logging).
+	SaveBytes uint64
+	// RestoreBytes estimates bytes copied back by Restore.
+	RestoreBytes uint64
+	// EntriesSaved counts entries actually copied (dirty entries for
+	// incremental layers, all entries for full-copy layers).
+	EntriesSaved uint64
+	// EntriesSkipped counts entries a full copy would have saved but
+	// dirty-tracking proved clean. Always zero for full-copy layers.
+	EntriesSkipped uint64
+}
+
+// ShardStateMetrics is an optional extension of ShardState: layers that
+// track their checkpoint traffic expose it here, and OptimisticGroup.Stats
+// sums it across layers and shards. Counters are cumulative per layer.
+type ShardStateMetrics interface {
+	SnapshotStats() SnapshotStats
+}
+
 // ShardCommitter is an optional extension of ShardState for layers with an
 // append-only committed side channel (trace rings, transition logs).
 // CommitUpTo(t) is called at barriers with the guarantee that no event
@@ -117,10 +161,16 @@ type undoOp struct {
 	seq0  uint64
 }
 
-// ocross is one staged cross-shard send, released on commit.
+// ocross is one staged cross-shard send, released on commit. key is the
+// delivery-order group: the originating segment's start (the floor value at
+// which the old one-wave-per-floor fixpoint would have released it), stamped
+// at commit time. Deliveries merge per destination in (key, when, commit
+// order) order so that collapsing multiple waves into one barrier pass keeps
+// same-time ties in exactly the order the wave-at-a-time schedule produced.
 type ocross struct {
 	dst   int
 	when  Time
+	key   Time
 	label string
 	fn    func()
 }
@@ -165,6 +215,18 @@ type OptStats struct {
 	AntiMessages uint64
 	// CrossShardEvents counts sends released to other shards at commit.
 	CrossShardEvents uint64
+	// CommittedSegments counts segments committed; divided by GVTWaves it
+	// measures how well the generalized commit bound (lastWhen < G+L rather
+	// than start == G) collapses fixpoint waves.
+	CommittedSegments uint64
+	// SnapSaveBytes / SnapRestoreBytes / SnapEntriesSaved / SnapEntriesSkipped
+	// aggregate SnapshotStats over every metered layer of every shard (see
+	// ShardStateMetrics). EntriesSkipped is checkpoint work dirty-tracking
+	// avoided outright.
+	SnapSaveBytes      uint64
+	SnapRestoreBytes   uint64
+	SnapEntriesSaved   uint64
+	SnapEntriesSkipped uint64
 	// Window is the current optimism window, in lookaheads (adaptive).
 	Window int
 	// BarrierStallNs is wall-clock time speculation participants spent
@@ -184,6 +246,7 @@ type oShard struct {
 	segs []*oseg // uncommitted segments, oldest first
 
 	layers     []ShardState
+	inc        []bool // parallel to layers: implements ShardStateIncremental
 	committers []ShardCommitter
 
 	segPool []*oseg
@@ -194,6 +257,8 @@ type oShard struct {
 
 func (o *oShard) addState(s ShardState) {
 	o.layers = append(o.layers, s)
+	_, isInc := s.(ShardStateIncremental)
+	o.inc = append(o.inc, isInc)
 	if c, ok := s.(ShardCommitter); ok {
 		o.committers = append(o.committers, c)
 	}
@@ -367,10 +432,19 @@ func (o *oShard) rollbackTo(t Time) {
 		g.stats.RolledBackEvents += uint64(s.events)
 		g.stats.AntiMessages += uint64(len(s.sends))
 	}
-	// Restore layer state from the oldest invalidated segment, then release
-	// every snapshot (the newer segments' snapshots are pure fossils).
+	// Restore layer state. Full-copy layers rewind from the oldest
+	// invalidated segment's snapshot alone (the newer segments' snapshots
+	// are pure fossils). Incremental layers hold only per-segment deltas, so
+	// every rolled segment's record is applied, newest first — each Restore
+	// rewinds exactly the entries its segment dirtied.
 	oldest := rolled[0]
 	for li, l := range o.layers {
+		if o.inc[li] {
+			for k := len(rolled) - 1; k >= 0; k-- {
+				l.Restore(rolled[k].snaps[li])
+			}
+			continue
+		}
 		l.Restore(oldest.snaps[li])
 	}
 	for k := range rolled {
@@ -549,11 +623,23 @@ func (g *OptimisticGroup) Workers() int { return g.workers }
 // Lookahead returns the minimum cross-shard scheduling distance.
 func (g *OptimisticGroup) Lookahead() Time { return g.lookahead }
 
-// Stats returns the optimistic-machinery counters. Call between or after
-// runs.
+// Stats returns the optimistic-machinery counters, including checkpoint
+// traffic summed over every metered layer (see ShardStateMetrics). Call
+// between or after runs.
 func (g *OptimisticGroup) Stats() OptStats {
 	st := g.stats
 	st.Window = g.window
+	for _, o := range g.oshards {
+		for _, l := range o.layers {
+			if m, ok := l.(ShardStateMetrics); ok {
+				s := m.SnapshotStats()
+				st.SnapSaveBytes += s.SaveBytes
+				st.SnapRestoreBytes += s.RestoreBytes
+				st.SnapEntriesSaved += s.EntriesSaved
+				st.SnapEntriesSkipped += s.EntriesSkipped
+			}
+		}
+	}
 	return st
 }
 
@@ -750,24 +836,38 @@ func (g *OptimisticGroup) Run(until Time) uint64 {
 // RunUntilIdle executes events until none remain or the group is stopped.
 func (g *OptimisticGroup) RunUntilIdle() uint64 { return g.Run(Forever) }
 
-// barrier is the serial commit fixpoint: repeatedly commit every segment
-// whose start equals the group floor, deliver the sends that commitment
-// released, and roll back destinations those deliveries invalidated, until
-// the floor is no longer a segment start.
+// barrier is the serial commit fixpoint under the generalized commit bound:
+// repeatedly commit, on every shard, the run of front segments whose history
+// ends strictly below G+L (rather than only those starting exactly at G),
+// deliver the sends those commits released, and roll back destinations the
+// deliveries invalidated, until nothing commits.
+//
+// Soundness: a segment spans less than L of simulated time, so every send a
+// shard has not yet released originates at or after its floor (>= G) and
+// arrives at or after G+L — strictly past any committed segment's lastWhen.
+// Deliveries stay eager (inside the fixpoint, after each commit sweep): a
+// send released at floor G' can invalidate only segments with lastWhen past
+// G'+L, which the bound keeps uncommittable until a strictly later sweep,
+// after the send has already arrived and rolled them back.
+//
+// The generalized bound commits in one sweep what the start == G rule needed
+// a wave per distinct segment start for; deliver's key grouping (see ocross)
+// keeps the released sends in the wave-at-a-time merge order.
 func (g *OptimisticGroup) barrier() {
 	for {
 		G, ok := g.minFloor()
 		if !ok {
 			return
 		}
+		bound := G + g.lookahead
 		committed := false
 		for _, o := range g.oshards {
 			// A lite segment is unconditionally committable: its history lies
 			// below G+L of the round that produced it, and every send still
 			// unreleased — this barrier's or a later one's — arrives at or
 			// after that bound.
-			if len(o.segs) > 0 && (o.segs[0].start == G || o.segs[0].lite) {
-				g.commitFront(o)
+			for len(o.segs) > 0 && (o.segs[0].lite || o.segs[0].lastWhen < bound) {
+				g.commitFront(o, G)
 				committed = true
 			}
 		}
@@ -780,10 +880,12 @@ func (g *OptimisticGroup) barrier() {
 }
 
 // commitFront commits shard o's oldest segment: release its cross-shard
-// sends into the group inbox, run its deferred actions, recycle its parked
-// Event records, return its snapshots to their pools, and flush committed
-// side channels up to the shard's new floor.
-func (g *OptimisticGroup) commitFront(o *oShard) {
+// sends into the group inbox (keyed for the wave-order merge), run its
+// deferred actions, recycle its parked Event records, return its snapshots
+// to their pools, and flush committed side channels up to the shard's new
+// floor. G is the sweep's floor, the key for lite segments (the old rule
+// committed every lite segment in the floor wave regardless of its start).
+func (g *OptimisticGroup) commitFront(o *oShard, G Time) {
 	s := o.segs[0]
 	copy(o.segs, o.segs[1:])
 	o.segs[len(o.segs)-1] = nil
@@ -792,7 +894,12 @@ func (g *OptimisticGroup) commitFront(o *oShard) {
 		o.cur = nil
 	}
 
+	key := s.start
+	if s.lite {
+		key = G
+	}
 	for _, c := range s.sends {
+		c.key = key
 		g.inbox[c.dst] = append(g.inbox[c.dst], c)
 	}
 	for _, fn := range s.deferred {
@@ -805,6 +912,7 @@ func (g *OptimisticGroup) commitFront(o *oShard) {
 		o.layers[li].Release(sn)
 	}
 	g.stats.CommittedEvents += uint64(s.events)
+	g.stats.CommittedSegments++
 
 	if len(o.committers) > 0 {
 		bound := o.e.now + 1
@@ -818,10 +926,13 @@ func (g *OptimisticGroup) commitFront(o *oShard) {
 	o.releaseSeg(s)
 }
 
-// deliver merges the inbox into each destination queue in (when, source
-// shard, staging order) order — identical to the conservative barrier
-// merge — rolling back any destination whose speculated history extends
-// past its earliest delivery.
+// deliver merges the inbox into each destination queue. Sends are processed
+// in key groups (ascending origin-segment start): each group is exactly one
+// wave of the old start == G fixpoint, so within it sends are sorted by
+// (when, commit order) — identical to the conservative barrier merge — the
+// destination is rolled back past the group's earliest delivery, and the
+// group is inserted. A single flat sort would instead interleave same-time
+// sends released by different waves in arrival order, moving committed ties.
 func (g *OptimisticGroup) deliver() {
 	for di, o := range g.oshards {
 		pend := g.inbox[di]
@@ -833,10 +944,25 @@ func (g *OptimisticGroup) deliver() {
 			pend[k] = ocross{}
 		}
 		g.inbox[di] = pend[:0]
-		sort.SliceStable(b, func(i, j int) bool { return b[i].when < b[j].when })
-		o.rollbackTo(b[0].when)
-		for _, ce := range b {
-			o.e.At(ce.when, ce.label, ce.fn)
+		// Commits fill the inbox in (sweep, shard, segment) order; within a
+		// key all entries come from distinct shards in ascending-shard order,
+		// so the stable sort leaves each group in the old wave's commit order.
+		sort.SliceStable(b, func(i, j int) bool {
+			if b[i].key != b[j].key {
+				return b[i].key < b[j].key
+			}
+			return b[i].when < b[j].when
+		})
+		for lo := 0; lo < len(b); {
+			hi := lo + 1
+			for hi < len(b) && b[hi].key == b[lo].key {
+				hi++
+			}
+			o.rollbackTo(b[lo].when) // group min: sorted by when within key
+			for _, ce := range b[lo:hi] {
+				o.e.At(ce.when, ce.label, ce.fn)
+			}
+			lo = hi
 		}
 		g.stats.CrossShardEvents += uint64(len(b))
 		for k := range b {

@@ -2,52 +2,88 @@ package sim
 
 import "testing"
 
-// benchIntLayer checkpoints one int through a pooled snapshot so the
-// benchmark's speculation exercises the save/restore path without boxing
-// allocations of its own.
-type benchIntLayer struct {
-	v    *int
-	pool []*int
+// benchIntLayer checkpoints one int through the dirty-tracked
+// (ShardStateIncremental) protocol: Save arms an empty pooled record, the
+// first mutation of the segment copies the pre-image into it, and both the
+// record and its dirty state recycle through the pool — so the benchmark's
+// speculation exercises the same arm/touch/restore path the real layers use
+// without boxing allocations of its own.
+type benchIntSnap struct {
+	filled bool
+	v      int
 }
 
+type benchIntLayer struct {
+	v    int
+	cur  *benchIntSnap
+	pool []*benchIntSnap
+}
+
+// bump is the layer's one mutation: copy-before-first-write, then increment.
+func (l *benchIntLayer) bump() int {
+	if sn := l.cur; sn != nil && !sn.filled {
+		sn.filled, sn.v = true, l.v
+	}
+	l.v++
+	return l.v
+}
+
+func (l *benchIntLayer) Incremental() {}
+
 func (l *benchIntLayer) Save() any {
-	var s *int
+	var sn *benchIntSnap
 	if k := len(l.pool); k > 0 {
-		s = l.pool[k-1]
+		sn = l.pool[k-1]
 		l.pool[k-1] = nil
 		l.pool = l.pool[:k-1]
 	} else {
-		s = new(int)
+		sn = &benchIntSnap{}
 	}
-	*s = *l.v
-	return s
+	l.cur = sn
+	return sn
 }
 
-func (l *benchIntLayer) Restore(snap any) { *l.v = *snap.(*int) }
-func (l *benchIntLayer) Release(snap any) { l.pool = append(l.pool, snap.(*int)) }
+func (l *benchIntLayer) Restore(snap any) {
+	sn := snap.(*benchIntSnap)
+	if sn == l.cur {
+		l.cur = nil
+	}
+	if sn.filled {
+		l.v = sn.v
+	}
+}
+
+func (l *benchIntLayer) Release(snap any) {
+	sn := snap.(*benchIntSnap)
+	if sn == l.cur {
+		l.cur = nil
+	}
+	sn.filled = false
+	l.pool = append(l.pool, sn)
+}
 
 // BenchmarkOptimisticSteadyAllocs measures the Time Warp machinery's
 // steady-state allocation cost: 4 shards under 2 workers, each carrying a
-// dense self-rescheduling event chain with a registered checkpoint layer and
-// a cross-shard send every 4th firing, driven for b.N lookaheads of
-// simulated time. This is the test-suite twin of the "optimistic-speculate"
-// entry in results/bench_mem.json (cmd/enginebench -mode mem); run with
-// -benchmem. Snapshot records, segment bookkeeping, staged sends and
-// recycled events all come from pools, so steady-state speculation should
-// allocate zero bytes per event (allocs/op ~ 0 as b.N grows; rollback-path
-// retries may add a bounded residue).
+// dense self-rescheduling event chain with a registered dirty-tracked
+// checkpoint layer and a cross-shard send every 4th firing, driven for b.N
+// lookaheads of simulated time. This is the test-suite twin of the
+// "optimistic-speculate" entry in results/bench_mem.json (cmd/enginebench
+// -mode mem); run with -benchmem. Snapshot records (including their dirty
+// lists), segment bookkeeping, staged sends and recycled events all come
+// from pools, so steady-state speculation should allocate zero bytes per
+// event (allocs/op ~ 0 as b.N grows; rollback-path retries may add a
+// bounded residue).
 func BenchmarkOptimisticSteadyAllocs(b *testing.B) {
 	const shards = 4
 	lookahead := 24 * Microsecond
 	g := NewOptimisticGroup(1, shards, 2, lookahead)
-	counters := make([]int, shards)
 	for i := 0; i < shards; i++ {
 		i := i
 		e := g.Shard(i)
-		e.AddShardState(&benchIntLayer{v: &counters[i]})
+		layer := &benchIntLayer{}
+		e.AddShardState(layer)
 		e.Recur(Time(i+1)*Microsecond, "chain", func() Time {
-			counters[i]++
-			if counters[i]%4 == 0 {
+			if layer.bump()%4 == 0 {
 				dst := g.Shard((i + 1) % shards)
 				e.ScheduleOn(dst, e.Now()+lookahead, "cross", func() {})
 			}
