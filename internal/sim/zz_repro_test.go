@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+// Repro probe: same-time cross-shard deliveries whose origin segments commit
+// in different GVT sweeps. Serial order should be preserved.
+func TestReproDeliveryOrderAcrossSweeps(t *testing.T) {
+	const L = 3 // lookahead
+
+	runSerial := func() []string {
+		var order []string
+		e := NewEngineWithCore(1, CoreWheel)
+		e.At(5, "e5", func() {})
+		e.At(6, "c6", func() {
+			e.At(10, "fromC", func() { order = append(order, "C") })
+		})
+		e.At(7, "a7", func() {
+			e.At(10, "fromA", func() { order = append(order, "A") })
+		})
+		e.RunUntilIdle()
+		return order
+	}
+
+	runOpt := func() []string {
+		var order []string
+		g := NewOptimisticGroup(1, 4, 1, L)
+		D := g.Shard(0)
+		E := g.Shard(1)
+		C := g.Shard(2)
+		A := g.Shard(3)
+		E.At(5, "e5", func() {})
+		C.At(6, "c6", func() {
+			C.ScheduleOn(D, 10, "fromC", func() { order = append(order, "C") })
+		})
+		C.At(8, "c8", func() {}) // stretches C's segment to lastWhen == G+L
+		A.At(7, "a7", func() {
+			A.ScheduleOn(D, 10, "fromA", func() { order = append(order, "A") })
+		})
+		g.RunUntilIdle()
+		return order
+	}
+
+	s := runSerial()
+	o := runOpt()
+	t.Logf("serial=%v optimistic=%v", s, o)
+	if len(s) != 2 || len(o) != 2 || s[0] != o[0] || s[1] != o[1] {
+		t.Fatalf("order diverged: serial=%v optimistic=%v", s, o)
+	}
+}
